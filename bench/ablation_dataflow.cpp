@@ -1,0 +1,41 @@
+// Ablation: the decomposition-aware dataflow (paper Fig. 11 / §4.4).
+//
+// The TTC keeps B tiles in L2 and C tiles in L1/RF across the TASD
+// terms; the naive alternative executes each term as an independent GEMM
+// pass, streaming partial C through DRAM. This bench quantifies what the
+// dataflow is worth on two-term series.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Ablation: decomposition-aware dataflow vs naive "
+               "term-by-term execution");
+
+  const auto workloads = bench::paper_workloads();
+  auto aware = accel::ArchConfig::ttc_vegeta_m8();
+  auto naive = accel::ArchConfig::ttc_vegeta_m8();
+  naive.name = "TTC-VEGETA-M8 (naive)";
+  naive.decomposition_aware_dataflow = false;
+
+  TextTable t;
+  t.header({"workload", "EDP (aware)", "EDP (naive)", "naive/aware"});
+  for (const auto& net : workloads) {
+    const auto base = bench::baseline_tc(net);
+    const double e_aware =
+        accel::normalized_edp(bench::run_on(aware, net), base);
+    const double e_naive =
+        accel::normalized_edp(bench::run_on(naive, net), base);
+    t.row({net.name, TextTable::num(e_aware, 3), TextTable::num(e_naive, 3),
+           TextTable::num(e_naive / e_aware, 3)});
+  }
+  t.print();
+  std::cout << "\nInterpretation: multi-term series pay extra C traffic; "
+               "the Fig. 11 dataflow keeps it\nat L1 instead of DRAM. "
+               "Workloads whose TASDER decisions use 2-term series show "
+               "the gap;\nsingle-term decisions are unaffected.\n";
+  return 0;
+}

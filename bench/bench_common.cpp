@@ -1,0 +1,22 @@
+#include "bench_common.hpp"
+
+namespace tasd::bench {
+
+std::vector<dnn::NetworkWorkload> paper_workloads() {
+  return {dnn::resnet50_workload(false, 42), dnn::bert_workload(false, 42),
+          dnn::resnet50_workload(true, 42), dnn::bert_workload(true, 42)};
+}
+
+accel::NetworkSim run_on(const accel::ArchConfig& arch,
+                         const dnn::NetworkWorkload& net) {
+  const auto execs =
+      tasder::optimize_workload(net, tasder::hw_profile_from(arch));
+  return accel::simulate_network(arch, execs, net.name);
+}
+
+accel::NetworkSim baseline_tc(const dnn::NetworkWorkload& net) {
+  return accel::simulate_network(accel::ArchConfig::dense_tc(),
+                                 tasder::plain_executions(net), net.name);
+}
+
+}  // namespace tasd::bench

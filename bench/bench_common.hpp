@@ -1,0 +1,25 @@
+// Shared plumbing for the accelerator-model benches (Figs. 12/13/15/19):
+// run TASDER for each workload x architecture pair and simulate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/network_sim.hpp"
+#include "dnn/workloads.hpp"
+#include "tasder/workload_opt.hpp"
+
+namespace tasd::bench {
+
+/// The paper's four evaluation workloads (Figs. 12–13) in paper order.
+std::vector<dnn::NetworkWorkload> paper_workloads();
+
+/// TASDER-optimized simulation of `net` on `arch` (plain executions when
+/// the architecture has no structured support).
+accel::NetworkSim run_on(const accel::ArchConfig& arch,
+                         const dnn::NetworkWorkload& net);
+
+/// Dense-TC baseline simulation of `net`.
+accel::NetworkSim baseline_tc(const dnn::NetworkWorkload& net);
+
+}  // namespace tasd::bench

@@ -1,0 +1,60 @@
+// Figure 6: per-layer weight and activation sparsity of the 95 %
+// unstructured-sparse ResNet-50.
+//
+// Two views are printed: the full-scale workload profile (what the
+// accelerator model consumes) and a measured profile from the scaled-down
+// twin model (weights magnitude-pruned, activations recorded from real
+// ReLU forwards on calibration data).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/calib.hpp"
+#include "dnn/pruning.hpp"
+#include "dnn/workloads.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Figure 6: per-layer sparsity, 95% sparse ResNet-50");
+
+  {
+    std::cout << "Full-scale workload profile (every 4th layer shown):\n";
+    const auto net = dnn::resnet50_workload(true, 42);
+    TextTable t;
+    t.header({"layer", "weight sparsity", "activation sparsity"});
+    for (std::size_t i = 0; i < net.layers.size(); i += 4) {
+      const auto& l = net.layers[i];
+      t.row({l.name, TextTable::pct(1.0 - l.weight_density),
+             TextTable::pct(1.0 - l.act_density)});
+    }
+    t.print();
+  }
+
+  {
+    std::cout << "\nMeasured on the scaled-down twin (32x32, width 0.25):\n";
+    dnn::ConvNetOptions o;
+    o.input_hw = 32;
+    o.width_mult = 0.25;
+    o.num_classes = 100;
+    dnn::Model model = dnn::make_resnet(50, o);
+    const double achieved = dnn::prune_unstructured(model, 0.95);
+    const auto calib = dnn::EvalSet::images(16, 32, 3, 7);
+    (void)dnn::collect_calibration(model, calib);
+    const auto rows = dnn::sparsity_report(model);
+    TextTable t;
+    t.header({"layer", "weight sparsity", "activation sparsity"});
+    for (std::size_t i = 0; i < rows.size(); i += 4) {
+      t.row({rows[i].name, TextTable::pct(rows[i].weight_sparsity),
+             TextTable::pct(rows[i].act_sparsity)});
+    }
+    t.print();
+    std::cout << "\nachieved global weight sparsity: "
+              << TextTable::pct(achieved)
+              << " (paper model: 95%)\n"
+              << "Paper shape check: early layers pruned less; weight "
+                 "sparsity 80-98% mid-network;\nactivation sparsity "
+                 "fluctuates in the 20-80% band.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 12: normalized energy-delay product for the four workloads on
+// the six hardware designs (lower is better; dense TC = 1.0).
+//
+// Paper reference points: DSTC worsens EDP on dense workloads (+12 % /
+// +167 % for dense RN50/BERT) but wins big on doubly-sparse RN50 (-87 %);
+// every TTC variant improves on TC; TTC-VEGETA-M8 reaches ~-83 % on
+// sparse RN50 and ~-58 %/-61 % on the dense workloads; overall geomean
+// improvement ~70 %.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Figure 12: normalized EDP (dense TC = 1.0, lower is better)");
+
+  const auto workloads = bench::paper_workloads();
+  const auto designs = accel::ArchConfig::paper_designs();
+
+  // Also print Table 3 (design roster) as the figure legend.
+  {
+    TextTable t3;
+    t3.header({"HW design", "sparsity support"});
+    t3.row({"TC", "none (dense)"});
+    t3.row({"DSTC", "unstructured, dual-side"});
+    t3.row({"TTC-STC-M4", "2:4 (TASD 1T)"});
+    t3.row({"TTC-STC-M8", "4:8 (TASD 1T)"});
+    t3.row({"TTC-VEGETA-M4", "1:4, 2:4 (1T) + 3:4 (2T)"});
+    t3.row({"TTC-VEGETA-M8", "1:8, 2:8, 4:8 (1T) + 3:8, 5:8, 6:8 (2T)"});
+    std::cout << "Table 3 (legend):\n";
+    t3.print();
+    std::cout << '\n';
+  }
+
+  TextTable table;
+  std::vector<std::string> header{"workload"};
+  for (const auto& d : designs) header.push_back(d.name);
+  table.header(header);
+
+  std::vector<std::vector<double>> norm(designs.size());
+  for (const auto& net : workloads) {
+    const auto base = bench::baseline_tc(net);
+    std::vector<std::string> row{net.name};
+    for (std::size_t a = 0; a < designs.size(); ++a) {
+      const auto sim = bench::run_on(designs[a], net);
+      const double e = accel::normalized_edp(sim, base);
+      norm[a].push_back(e);
+      row.push_back(TextTable::num(e, 3));
+    }
+    table.row(row);
+  }
+  std::vector<std::string> geo{"geomean"};
+  for (std::size_t a = 0; a < designs.size(); ++a)
+    geo.push_back(TextTable::num(accel::geomean(norm[a]), 3));
+  table.row(geo);
+  table.print();
+
+  std::cout << "\nPaper shape check: DSTC > 1.0 on dense workloads, best "
+               "TTC << 1.0 everywhere,\nTTC-VEGETA-M8 strongest on sparse "
+               "ResNet-50 (paper: ~0.17).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 13: normalized end-to-end latency and energy for the four
+// workloads on the six designs (dense TC = 1.0).
+//
+// Paper reference: TTC-VEGETA-M8 is the most energy-efficient everywhere
+// and only slightly slower than DSTC on sparse ResNet-50.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner(
+      "Figure 13: normalized latency / energy (dense TC = 1.0)");
+
+  const auto workloads = bench::paper_workloads();
+  const auto designs = accel::ArchConfig::paper_designs();
+
+  for (const char* metric : {"latency", "energy"}) {
+    std::cout << "\n-- " << metric << " --\n";
+    TextTable t;
+    std::vector<std::string> header{"workload"};
+    for (const auto& d : designs) header.push_back(d.name);
+    t.header(header);
+    std::vector<std::vector<double>> norm(designs.size());
+    for (const auto& net : workloads) {
+      const auto base = bench::baseline_tc(net);
+      std::vector<std::string> row{net.name};
+      for (std::size_t a = 0; a < designs.size(); ++a) {
+        const auto sim = bench::run_on(designs[a], net);
+        const double v = std::string(metric) == "latency"
+                             ? sim.cycles / base.cycles
+                             : sim.energy_pj / base.energy_pj;
+        norm[a].push_back(v);
+        row.push_back(TextTable::num(v, 3));
+      }
+      t.row(row);
+    }
+    std::vector<std::string> geo{"geomean"};
+    for (std::size_t a = 0; a < designs.size(); ++a)
+      geo.push_back(TextTable::num(accel::geomean(norm[a]), 3));
+    t.row(geo);
+    t.print();
+  }
+
+  std::cout << "\nPaper shape check: TTC-VEGETA-M8 lowest-energy across "
+               "workloads; DSTC latency\ncompetitive only on sparse "
+               "ResNet-50; DSTC energy worst on dense BERT.\n";
+  return 0;
+}

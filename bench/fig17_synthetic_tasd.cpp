@@ -1,0 +1,65 @@
+// Figure 17 (Appendix A): dropped-non-zero and dropped-magnitude
+// percentages vs original density for 1/2/3-term TASD series on a
+// 128x128 synthetic matrix, N(0, 1/3) values.
+//
+// Paper takeaways: (1) at low density, two terms already drop < 1 % of
+// non-zeros; (2) dropped magnitude % < dropped count % (greedy keeps the
+// largest elements).
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/approx_stats.hpp"
+#include "tensor/generator.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Figure 17: synthetic TASD quality vs density (128x128, "
+               "N(0,1/3))");
+
+  const std::vector<const char*> series = {"2:4", "2:4+2:8", "2:4+2:8+2:16"};
+  const std::vector<double> densities = {0.10, 0.20, 0.30, 0.40,
+                                         0.50, 0.60, 0.75};
+
+  TextTable t;
+  t.header({"density", "series", "dropped nnz %", "dropped magnitude %"});
+  for (double density : densities) {
+    Rng rng(1700 + static_cast<std::uint64_t>(density * 100));
+    const MatrixF m =
+        random_unstructured(128, 128, density, Dist::kNormal, rng);
+    for (const char* s : series) {
+      const auto stats = approx_stats(m, TasdConfig::parse(s));
+      t.row({TextTable::num(density, 2), s,
+             TextTable::pct(stats.dropped_nnz_fraction(), 2),
+             TextTable::pct(stats.dropped_magnitude_fraction(), 2)});
+    }
+  }
+  t.print();
+
+  // Appendix A also observes that the dropped-count percentage is nearly
+  // distribution-independent while dropped magnitude varies slightly and
+  // MSE varies a lot.
+  std::cout << "\nDistribution sensitivity (density 0.5, series 2:4+2:8):\n";
+  TextTable d;
+  d.header({"distribution", "dropped nnz %", "dropped magnitude %", "MSE"});
+  for (auto [name, dist] :
+       {std::pair<const char*, Dist>{"uniform[0,1)", Dist::kUniform01},
+        std::pair<const char*, Dist>{"normal(0,1/3)", Dist::kNormal},
+        std::pair<const char*, Dist>{"normal(0,1)", Dist::kNormalStd1}}) {
+    Rng rng(1750);
+    const MatrixF m = random_unstructured(128, 128, 0.5, dist, rng);
+    const auto stats = approx_stats(m, TasdConfig::parse("2:4+2:8"));
+    d.row({name, TextTable::pct(stats.dropped_nnz_fraction(), 2),
+           TextTable::pct(stats.dropped_magnitude_fraction(), 2),
+           TextTable::num(stats.mse, 6)});
+  }
+  d.print();
+
+  std::cout << "\nPaper shape check: dropped fractions grow with density "
+               "and shrink with extra terms;\nat density 0.1-0.2 the "
+               "two-term series drops <1% of non-zeros; magnitude% < "
+               "count%;\ndropped-count % is distribution-insensitive while "
+               "MSE varies strongly.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Kernel microbenchmarks (google-benchmark): decomposition throughput,
+// dense vs N:M-compressed GEMM, and the TASD-series GEMM.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/decompose.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "runtime/nm_gemm.hpp"
+#include "tensor/generator.hpp"
+
+namespace {
+
+using namespace tasd;
+
+void BM_Decompose(benchmark::State& state) {
+  Rng rng(9001);
+  const auto cfg = TasdConfig::parse(state.range(0) == 1 ? "2:4" : "4:8+1:8");
+  const MatrixF m = random_unstructured(256, 256, 0.3, Dist::kNormalStd1, rng);
+  for (auto _ : state) {
+    auto d = decompose(m, cfg);
+    benchmark::DoNotOptimize(d.residual.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m.size()));
+}
+BENCHMARK(BM_Decompose)->Arg(1)->Arg(2);
+
+void BM_DenseGemm(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(9002);
+  const MatrixF a = random_dense(n, n, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+  for (auto _ : state) {
+    MatrixF c = rt::dense_gemm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_DenseGemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_NmGemm24(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(9003);
+  const MatrixF dense = random_dense(n, n, Dist::kNormalStd1, rng);
+  const auto d = decompose(dense, TasdConfig::parse("2:4"));
+  const sparse::NMSparseMatrix a = d.terms[0].compressed();
+  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+  for (auto _ : state) {
+    MatrixF c = rt::nm_gemm(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  // Half the dense MACs are executed.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * n * n / 2);
+}
+BENCHMARK(BM_NmGemm24)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_TasdSeriesGemm(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  Rng rng(9004);
+  const MatrixF dense = random_dense(n, n, Dist::kNormalStd1, rng);
+  const rt::TasdSeriesGemm series(decompose(dense, TasdConfig::parse("4:8+1:8")));
+  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+  for (auto _ : state) {
+    MatrixF c = series.multiply(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * n * n * 5 / 8);
+}
+BENCHMARK(BM_TasdSeriesGemm)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,27 @@
+// Table 4: the representative layers (L1/L2/L3) of each workload, as
+// located in the full-scale workload stacks.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "dnn/workloads.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Table 4: representative layers");
+  TextTable t;
+  t.header({"id", "M (out)", "K (red.)", "N (pos/tok)", "wgt density",
+            "act density", "act fn"});
+  for (const auto& l : dnn::table4_layers()) {
+    t.row({l.name, std::to_string(l.m), std::to_string(l.k),
+           std::to_string(l.n), TextTable::num(l.weight_density, 3),
+           TextTable::num(l.act_density, 3),
+           l.act_relu ? "ReLU" : "GELU"});
+  }
+  t.print();
+  std::cout << "\nPaper dims (their M-N-K = our N-M-K): dense RN50 "
+               "L1 M784-N128-K1152, L2 M3136-N64-K576,\nsparse RN50 L3 "
+               "M196-N256-K2304; BERT L1 M768-N128-K768, L2 "
+               "M3072-N128-K768, L3 M768-N128-K3072.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Architecture exploration with the analytical model: sweep the
+// structured-sparsity support (M, pattern set, TASD-unit count) and see
+// how EDP on the paper's workloads responds — the design-space angle of
+// paper §4.4 / Table 3.
+//
+//   build/examples/accelerator_explorer
+#include <iostream>
+
+#include "accel/network_sim.hpp"
+#include "accel/tasd_unit.hpp"
+#include "common/table.hpp"
+#include "dnn/workloads.hpp"
+#include "tasder/workload_opt.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Accelerator design-space exploration");
+
+  const auto sparse_rn50 = dnn::resnet50_workload(true, 42);
+  const auto dense_bert = dnn::bert_workload(false, 42);
+  const auto base_rn50 = accel::simulate_network(
+      accel::ArchConfig::dense_tc(), tasder::plain_executions(sparse_rn50),
+      sparse_rn50.name);
+  const auto base_bert = accel::simulate_network(
+      accel::ArchConfig::dense_tc(), tasder::plain_executions(dense_bert),
+      dense_bert.name);
+
+  TextTable t;
+  t.header({"design", "max terms", "EDP sparse-RN50", "EDP dense-BERT",
+            "TASD-unit area"});
+  for (auto arch : {accel::ArchConfig::ttc_stc_m4(),
+                    accel::ArchConfig::ttc_stc_m8(),
+                    accel::ArchConfig::ttc_vegeta_m4(),
+                    accel::ArchConfig::ttc_vegeta_m8()}) {
+    const auto hw = tasder::hw_profile_from(arch);
+    const auto rn = accel::simulate_network(
+        arch, tasder::optimize_workload(sparse_rn50, hw), sparse_rn50.name);
+    const auto bert = accel::simulate_network(
+        arch, tasder::optimize_workload(dense_bert, hw), dense_bert.name);
+    t.row({arch.name, std::to_string(arch.max_tasd_terms),
+           TextTable::num(accel::normalized_edp(rn, base_rn50), 3),
+           TextTable::num(accel::normalized_edp(bert, base_bert), 3),
+           TextTable::pct(accel::tasd_area_model(arch).ratio(), 2)});
+  }
+  t.print();
+
+  // What if the TASD units are under-provisioned? Show the stall factor.
+  std::cout << "\nTASD-unit provisioning (4:8+1:8 series on M8):\n";
+  TextTable u;
+  u.header({"units/engine", "required", "stall factor"});
+  for (Index units : {4u, 8u, 12u, 16u}) {
+    auto arch = accel::ArchConfig::ttc_vegeta_m8();
+    arch.tasd_units_per_engine = units;
+    const auto m = accel::tasd_unit_model(arch, TasdConfig::parse("4:8+1:8"));
+    u.row({std::to_string(units), TextTable::num(m.required_units, 1),
+           TextTable::num(m.stall_factor(), 2) + "x"});
+  }
+  u.print();
+  std::cout << "\nPaper check (Fig. 10/Little's law): 12 units suffice for "
+               "4:8+1:8; 16 cover the worst admissible series.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Defining your own structured sparse design point and evaluating it
+// with TASDER — what a hardware architect would do with this library.
+//
+// We sketch a hypothetical "TTC-M16" engine with {2:16, 4:16, 8:16}
+// support and 3 TASD terms, and compare it against the paper's designs
+// on the four evaluation workloads.
+//
+//   build/examples/custom_accelerator
+#include <iostream>
+
+#include "accel/network_sim.hpp"
+#include "accel/tasd_unit.hpp"
+#include "common/table.hpp"
+#include "core/series_enum.hpp"
+#include "dnn/workloads.hpp"
+#include "tasder/workload_opt.hpp"
+
+using namespace tasd;
+
+int main() {
+  print_banner("Custom design point: TTC-M16 with 3-term TASD");
+
+  // 1. Describe the hardware.
+  accel::ArchConfig m16;
+  m16.name = "TTC-M16";
+  m16.kind = accel::HwKind::kTTC;
+  m16.supported_patterns = {sparse::NMPattern(2, 16),
+                            sparse::NMPattern(4, 16),
+                            sparse::NMPattern(8, 16)};
+  m16.max_tasd_terms = 3;
+  m16.has_tasd_units = true;
+  // Wider blocks need more decomposition cycles per block: check the
+  // TASD-unit provisioning before committing (Little's law, Fig. 10).
+  m16.tasd_units_per_engine = 16;
+  {
+    const auto worst = TasdConfig::parse("8:16+4:16+2:16");
+    const auto unit = accel::tasd_unit_model(m16, worst);
+    std::cout << "worst-case series " << worst.str() << ": needs "
+              << unit.required_units << " TASD units/engine, stall factor "
+              << unit.stall_factor() << "\n";
+  }
+
+  // 2. What can it express? (Table 2 for this design.)
+  {
+    const auto reachable =
+        reachable_effective_n(m16.supported_patterns, m16.max_tasd_terms, 16);
+    std::cout << "reachable effective N:16 patterns:";
+    for (int n : reachable) std::cout << ' ' << n;
+    std::cout << " of 16\n";
+  }
+
+  // 3. Evaluate against the paper's designs.
+  TextTable t;
+  t.header({"workload", "TTC-STC-M4", "TTC-VEGETA-M8", "TTC-M16 (custom)"});
+  const std::vector<dnn::NetworkWorkload> workloads = {
+      dnn::resnet50_workload(false, 42), dnn::bert_workload(false, 42),
+      dnn::resnet50_workload(true, 42), dnn::bert_workload(true, 42)};
+  for (const auto& net : workloads) {
+    const auto base = accel::simulate_network(
+        accel::ArchConfig::dense_tc(), tasder::plain_executions(net),
+        net.name);
+    auto edp = [&](const accel::ArchConfig& arch) {
+      const auto execs =
+          tasder::optimize_workload(net, tasder::hw_profile_from(arch));
+      return accel::normalized_edp(
+          accel::simulate_network(arch, execs, net.name), base);
+    };
+    t.row({net.name, TextTable::num(edp(accel::ArchConfig::ttc_stc_m4()), 3),
+           TextTable::num(edp(accel::ArchConfig::ttc_vegeta_m8()), 3),
+           TextTable::num(edp(m16), 3)});
+  }
+  t.print();
+  std::cout << "\nTake-away: wider blocks + more terms buy finer density "
+               "granularity (more\nconfigs between 12.5% and 87.5%), at "
+               "the cost of deeper comparator trees and\nlonger "
+               "decomposition pipelines — the trade the paper's Table 3 "
+               "spans.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "accel/arch.hpp"
+
+#include <algorithm>
+
+namespace tasd::accel {
+
+int ArchConfig::block_size() const {
+  int m = 0;
+  for (const auto& p : supported_patterns) m = std::max(m, p.m);
+  return m;
+}
+
+bool ArchConfig::supports(const TasdConfig& cfg) const {
+  if (kind != HwKind::kTTC) return false;
+  if (static_cast<int>(cfg.terms.size()) > max_tasd_terms) return false;
+  for (const auto& t : cfg.terms) {
+    const bool found =
+        std::find(supported_patterns.begin(), supported_patterns.end(), t) !=
+        supported_patterns.end();
+    if (!found) return false;
+  }
+  return !cfg.terms.empty();
+}
+
+ArchConfig ArchConfig::dense_tc() {
+  ArchConfig a;
+  a.name = "TC";
+  a.kind = HwKind::kDenseTC;
+  return a;
+}
+
+ArchConfig ArchConfig::dstc() {
+  ArchConfig a;
+  a.name = "DSTC";
+  a.kind = HwKind::kDSTC;
+  return a;
+}
+
+ArchConfig ArchConfig::ttc_stc_m4() {
+  ArchConfig a;
+  a.name = "TTC-STC-M4";
+  a.kind = HwKind::kTTC;
+  a.supported_patterns = {sparse::NMPattern(2, 4)};
+  a.max_tasd_terms = 1;
+  a.has_tasd_units = true;
+  return a;
+}
+
+ArchConfig ArchConfig::ttc_stc_m8() {
+  ArchConfig a;
+  a.name = "TTC-STC-M8";
+  a.kind = HwKind::kTTC;
+  a.supported_patterns = {sparse::NMPattern(4, 8)};
+  a.max_tasd_terms = 1;
+  a.has_tasd_units = true;
+  return a;
+}
+
+ArchConfig ArchConfig::ttc_vegeta_m4() {
+  ArchConfig a;
+  a.name = "TTC-VEGETA-M4";
+  a.kind = HwKind::kTTC;
+  a.supported_patterns = {sparse::NMPattern(1, 4), sparse::NMPattern(2, 4)};
+  a.max_tasd_terms = 2;
+  a.has_tasd_units = true;
+  return a;
+}
+
+ArchConfig ArchConfig::ttc_vegeta_m8() {
+  ArchConfig a;
+  a.name = "TTC-VEGETA-M8";
+  a.kind = HwKind::kTTC;
+  a.supported_patterns = {sparse::NMPattern(1, 8), sparse::NMPattern(2, 8),
+                          sparse::NMPattern(4, 8)};
+  a.max_tasd_terms = 2;
+  a.has_tasd_units = true;
+  return a;
+}
+
+ArchConfig ArchConfig::vegeta_m8_no_tasd() {
+  ArchConfig a = ttc_vegeta_m8();
+  a.name = "VEGETA-M8";
+  a.has_tasd_units = false;
+  return a;
+}
+
+std::vector<ArchConfig> ArchConfig::paper_designs() {
+  return {dense_tc(),   dstc(),          ttc_stc_m4(),
+          ttc_stc_m8(), ttc_vegeta_m4(), ttc_vegeta_m8()};
+}
+
+}  // namespace tasd::accel

@@ -1,0 +1,78 @@
+// Accelerator architecture configurations (paper Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sparse/pattern.hpp"
+
+namespace tasd::accel {
+
+/// Hardware family.
+enum class HwKind {
+  kDenseTC,  ///< dense tensor core — no sparsity support
+  kDSTC,     ///< dual-side unstructured sparse tensor core
+  kTTC,      ///< structured sparse core (STC/VEGETA) + TASD extension
+};
+
+/// One accelerator design point. All designs share the PE count and
+/// memory hierarchy (paper §5.1).
+struct ArchConfig {
+  std::string name;
+  HwKind kind = HwKind::kDenseTC;
+
+  // PE array: engines laid out 2x2, each rows x cols MACs.
+  Index num_engines = 4;
+  Index pe_rows = 16;
+  Index pe_cols = 16;
+
+  // Structured sparsity support (TTC kinds only).
+  std::vector<sparse::NMPattern> supported_patterns;
+  int max_tasd_terms = 1;
+
+  /// TTC extension: dynamic TASD units for activations. Without them the
+  /// design is a plain structured accelerator (VEGETA/STC) that can only
+  /// use pre-decomposed (weight) operands.
+  bool has_tasd_units = false;
+  Index tasd_units_per_engine = 16;
+
+  /// The Fig. 11 decomposition-aware dataflow: keep C tiles resident in
+  /// L1/RF across TASD terms (extra-term re-accumulation charged at L1).
+  /// When disabled, each term streams its partial C through DRAM — the
+  /// naive multi-pass execution the dataflow is designed to avoid
+  /// (ablation knob).
+  bool decomposition_aware_dataflow = true;
+
+  /// MACs available per cycle.
+  [[nodiscard]] Index macs_per_cycle() const {
+    return num_engines * pe_rows * pe_cols;
+  }
+
+  /// Output-tile dims (engines arranged 2x2).
+  [[nodiscard]] Index tile_m() const { return pe_rows * 2; }
+  [[nodiscard]] Index tile_n() const { return pe_cols * 2; }
+
+  /// Block size M of the structured support (0 when none).
+  [[nodiscard]] int block_size() const;
+
+  /// Can this design execute the given series? (every term's pattern must
+  /// be natively supported, and the term count within max_tasd_terms).
+  [[nodiscard]] bool supports(const TasdConfig& cfg) const;
+
+  // ----- the six designs evaluated in the paper (Table 3) -----
+  static ArchConfig dense_tc();
+  static ArchConfig dstc();
+  static ArchConfig ttc_stc_m4();
+  static ArchConfig ttc_stc_m8();
+  static ArchConfig ttc_vegeta_m4();
+  static ArchConfig ttc_vegeta_m8();
+
+  /// Plain VEGETA-M8 without the TASD-unit extension (Fig. 19 ablation).
+  static ArchConfig vegeta_m8_no_tasd();
+
+  /// All six Table 3 designs in paper order.
+  static std::vector<ArchConfig> paper_designs();
+};
+
+}  // namespace tasd::accel

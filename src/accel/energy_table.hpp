@@ -1,0 +1,40 @@
+// Energy and bandwidth constants for the analytical accelerator model.
+//
+// Every architecture in the comparison (TC, DSTC, TTC-*) shares this
+// table — the paper fixes the memory hierarchy and PE count across
+// designs for fairness (§5.1). Values are picojoules per *element*
+// (4-byte float) accessed, in the spirit of Accelergy/Sparseloop component
+// tables; they are representative ratios (DRAM ≫ L2 ≫ L1 ≫ RF ≫ MAC), not
+// a specific technology node. Only ratios matter for the normalized
+// EDP/latency/energy results.
+#pragma once
+
+namespace tasd::accel {
+
+/// Per-access energies (pJ / element) and machine constants.
+struct EnergyTable {
+  double mac = 1.0;        ///< one multiply-accumulate
+  double rf = 0.15;        ///< register-file access
+  double l1 = 1.2;         ///< L1 scratchpad access (per engine)
+  double l2 = 3.5;         ///< shared L2 scratchpad access
+  double dram = 56.0;      ///< DRAM access
+  double tasd_unit = 0.25; ///< TASD-unit comparator pass per element
+
+  /// DSTC-style unstructured overheads: every effectual MAC's partial
+  /// product takes an accumulation-buffer round-trip, and compressed
+  /// operands carry coordinate metadata.
+  double dstc_accum_buffer = 1.5;  ///< per effectual MAC
+  double dstc_metadata_factor = 1.45;  ///< operand traffic multiplier
+
+  /// DRAM bandwidth in elements per cycle (4B each).
+  double dram_elems_per_cycle = 32.0;
+
+  /// PE-array utilization of the unstructured design (workload imbalance
+  /// across rows; paper §2.3 cites imbalance as a known DSTC cost).
+  double dstc_utilization = 0.50;
+};
+
+/// The default table used by all benches.
+inline constexpr EnergyTable kDefaultEnergy{};
+
+}  // namespace tasd::accel

@@ -1,0 +1,45 @@
+#include "accel/network_sim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tasd::accel {
+
+NetworkSim simulate_network(const ArchConfig& arch,
+                            const std::vector<LayerExecution>& layers,
+                            const std::string& workload_name,
+                            const EnergyTable& table) {
+  NetworkSim net;
+  net.arch_name = arch.name;
+  net.workload_name = workload_name;
+  for (const auto& exec : layers) {
+    const LayerSim sim = simulate_layer(arch, exec, table);
+    const double rep = static_cast<double>(exec.layer.repeat);
+    net.cycles += sim.cycles * rep;
+    net.effectual_macs += sim.effectual_macs * rep;
+    net.slot_macs += sim.slot_macs * rep;
+    for (std::size_t c = 0; c < kComponentCount; ++c) {
+      net.energy_by_component[c] += sim.energy_pj[c] * rep;
+      net.energy_pj += sim.energy_pj[c] * rep;
+    }
+  }
+  return net;
+}
+
+double normalized_edp(const NetworkSim& sim, const NetworkSim& baseline) {
+  TASD_CHECK_MSG(baseline.edp() > 0.0, "baseline EDP must be positive");
+  return sim.edp() / baseline.edp();
+}
+
+double geomean(const std::vector<double>& values) {
+  TASD_CHECK_MSG(!values.empty(), "geomean of empty set");
+  double log_sum = 0.0;
+  for (double v : values) {
+    TASD_CHECK_MSG(v > 0.0, "geomean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace tasd::accel

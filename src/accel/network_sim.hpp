@@ -1,0 +1,38 @@
+// Whole-network aggregation of per-layer simulations (the "Overall" bars
+// of Figs. 12–13) plus normalized-metric helpers.
+#pragma once
+
+#include <vector>
+
+#include "accel/perf_model.hpp"
+
+namespace tasd::accel {
+
+/// Aggregated simulation of a network on one architecture.
+struct NetworkSim {
+  std::string arch_name;
+  std::string workload_name;
+  double cycles = 0.0;
+  double energy_pj = 0.0;
+  std::array<double, kComponentCount> energy_by_component{};
+  double effectual_macs = 0.0;
+  double slot_macs = 0.0;
+
+  [[nodiscard]] double edp() const { return cycles * energy_pj; }
+};
+
+/// Simulate all layers (repeats included) and aggregate. Latency adds
+/// across layers (they execute sequentially); energy adds too.
+NetworkSim simulate_network(const ArchConfig& arch,
+                            const std::vector<LayerExecution>& layers,
+                            const std::string& workload_name,
+                            const EnergyTable& table = kDefaultEnergy);
+
+/// EDP of `sim` normalized to `baseline` (the dense TC run of the same
+/// workload in the paper's figures).
+double normalized_edp(const NetworkSim& sim, const NetworkSim& baseline);
+
+/// Geometric mean over a set of positive values.
+double geomean(const std::vector<double>& values);
+
+}  // namespace tasd::accel

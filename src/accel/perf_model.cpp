@@ -1,0 +1,245 @@
+#include "accel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "accel/tasd_unit.hpp"
+#include "common/error.hpp"
+
+namespace tasd::accel {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kMac: return "MAC";
+    case Component::kRf: return "RF";
+    case Component::kL1: return "L1-SMEM";
+    case Component::kL2: return "L2-SMEM";
+    case Component::kDram: return "DRAM";
+    case Component::kTasdUnit: return "TASD-unit";
+    case Component::kAccumBuf: return "AccumBuf";
+    case Component::kCount: break;
+  }
+  return "?";
+}
+
+double LayerSim::total_energy() const {
+  double total = 0.0;
+  for (double e : energy_pj) total += e;
+  return total;
+}
+
+namespace {
+
+double& comp(LayerSim& sim, Component c) {
+  return sim.energy_pj[static_cast<std::size_t>(c)];
+}
+
+/// Metadata storage overhead of an N:M-compressed operand, as a fraction
+/// of the value bytes: ceil(log2 M) index bits per kept 32-bit value.
+double nm_meta_overhead(const TasdConfig& cfg) {
+  if (cfg.terms.empty()) return 0.0;
+  double bits = 0.0;
+  double density = 0.0;
+  for (const auto& t : cfg.terms) {
+    bits += std::ceil(std::log2(static_cast<double>(std::max(t.m, 2)))) *
+            t.density();
+    density += t.density();
+  }
+  if (density <= 0.0) return 0.0;
+  return (bits / density) / 32.0;
+}
+
+struct Shape {
+  double m, k, n;
+  double passes;   // output tiles
+  double tile_m, tile_n;
+};
+
+Shape make_shape(const ArchConfig& arch, const dnn::GemmWorkload& l) {
+  Shape s;
+  s.m = static_cast<double>(l.m);
+  s.k = static_cast<double>(l.k);
+  s.n = static_cast<double>(l.n);
+  s.tile_m = static_cast<double>(arch.tile_m());
+  s.tile_n = static_cast<double>(arch.tile_n());
+  s.passes = std::ceil(s.m / s.tile_m) * std::ceil(s.n / s.tile_n);
+  return s;
+}
+
+/// Dense-tensor-core execution: every MAC computed, no gating.
+LayerSim simulate_dense(const ArchConfig& arch, const dnn::GemmWorkload& l,
+                        const EnergyTable& t) {
+  LayerSim sim;
+  const Shape s = make_shape(arch, l);
+  const double dense_macs = s.m * s.k * s.n;
+
+  sim.slot_macs = dense_macs;
+  sim.effectual_macs = dense_macs;
+  sim.compute_cycles = s.passes * s.k;
+
+  comp(sim, Component::kMac) = dense_macs * t.mac;
+  comp(sim, Component::kRf) = 2.0 * dense_macs * t.rf;
+  // Per pass, stream the A panel (tile_m x K) and B panel (K x tile_n)
+  // through L2 and L1.
+  const double streamed = s.passes * s.k * (s.tile_m + s.tile_n);
+  comp(sim, Component::kL1) = (streamed + s.m * s.n) * t.l1;
+  comp(sim, Component::kL2) = (streamed + s.m * s.n) * t.l2;
+  // DRAM: read both operands once, write C once (B panel resident in L2).
+  const double dram_elems = s.m * s.k + s.k * s.n + s.m * s.n;
+  comp(sim, Component::kDram) = dram_elems * t.dram;
+  sim.memory_cycles = dram_elems / t.dram_elems_per_cycle;
+  sim.cycles = std::max(sim.compute_cycles, sim.memory_cycles);
+  return sim;
+}
+
+/// DSTC: dual-side unstructured. Skips all ineffectual MACs but pays
+/// imbalance (utilization), accumulation-buffer traffic per partial, and
+/// coordinate metadata on compressed operands.
+LayerSim simulate_dstc(const ArchConfig& arch, const dnn::GemmWorkload& l,
+                       const EnergyTable& t) {
+  LayerSim sim;
+  const Shape s = make_shape(arch, l);
+  const double dw = l.weight_density;
+  const double da = l.act_density;
+  const double eff = s.m * s.k * s.n * dw * da;
+
+  sim.slot_macs = eff;
+  sim.effectual_macs = eff;
+  sim.compute_cycles =
+      eff / (static_cast<double>(arch.macs_per_cycle()) * t.dstc_utilization);
+
+  comp(sim, Component::kMac) = eff * t.mac;
+  comp(sim, Component::kRf) = 2.0 * eff * t.rf;
+  comp(sim, Component::kAccumBuf) = eff * t.dstc_accum_buffer;
+  // Streamed compressed operands with coordinate metadata.
+  const double streamed = s.passes * s.k *
+                          (s.tile_m * dw + s.tile_n * da) *
+                          t.dstc_metadata_factor;
+  comp(sim, Component::kL1) = (streamed + s.m * s.n) * t.l1;
+  comp(sim, Component::kL2) = (streamed + s.m * s.n) * t.l2;
+  const double dram_elems = (s.m * s.k * dw + s.k * s.n * da) *
+                                t.dstc_metadata_factor +
+                            s.m * s.n;
+  comp(sim, Component::kDram) = dram_elems * t.dram;
+  sim.memory_cycles = dram_elems / t.dram_elems_per_cycle;
+  sim.cycles = std::max(sim.compute_cycles, sim.memory_cycles);
+  return sim;
+}
+
+/// TTC (STC/VEGETA + TASD): structured sparse execution of a TASD series
+/// on one operand, dense otherwise.
+LayerSim simulate_ttc(const ArchConfig& arch, const LayerExecution& exec,
+                      const EnergyTable& t) {
+  const dnn::GemmWorkload& l = exec.layer;
+  LayerSim sim;
+  const Shape s = make_shape(arch, l);
+
+  const bool on_weights = exec.weight_cfg.has_value();
+  const bool on_acts = exec.act_cfg.has_value();
+  if (!on_weights && !on_acts) {
+    // Plain structured HW on an unstructured workload: dense execution
+    // (paper Fig. 19: VEGETA without TASDER gains nothing).
+    return simulate_dense(arch, l, t);
+  }
+  const TasdConfig& cfg = on_weights ? *exec.weight_cfg : *exec.act_cfg;
+  TASD_CHECK_MSG(arch.supports(cfg), arch.name << " cannot execute series "
+                                               << cfg.str());
+
+  const double sd = cfg.max_density();  // series slot density
+  const double terms = static_cast<double>(cfg.order());
+  const double meta = nm_meta_overhead(cfg);
+
+  // Reduction loop shortened to the series' slots.
+  const double k_eff = std::max(1.0, s.k * sd);
+  sim.compute_cycles = s.passes * k_eff;
+
+  // Dynamic decomposition pipeline stalls (TASD-A only; TASD-W is
+  // decomposed offline).
+  if (on_acts) {
+    const auto unit = tasd_unit_model(arch, cfg);
+    sim.compute_cycles *= unit.stall_factor();
+  }
+
+  // Slot occupancy and gating. Slots are reserved by the pattern whether
+  // or not a real non-zero landed in them; energy is only spent on
+  // effectual MACs (zero operands are gated).
+  const double slot_macs = s.m * k_eff * s.n;
+  double kept;  // fraction of all positions of the decomposed operand kept
+  if (on_weights) {
+    kept = exec.weight_kept_fraction.value_or(std::min(l.weight_density, sd));
+  } else {
+    // ReLU nets: real zeros cap occupancy; GELU nets: slots fill with
+    // small-but-non-zero values.
+    kept = l.act_relu ? std::min(l.act_density, sd) : sd;
+  }
+  const double other_density = on_weights
+                                   ? (l.act_relu ? l.act_density : 1.0)
+                                   : l.weight_density;
+  const double eff = s.m * s.k * s.n * kept * other_density;
+  sim.slot_macs = slot_macs;
+  sim.effectual_macs = eff;
+
+  comp(sim, Component::kMac) = eff * t.mac;
+  comp(sim, Component::kRf) = 2.0 * slot_macs * t.rf;
+
+  // Streaming: the compressed operand contributes k_eff rows per block
+  // (values + metadata); the dense operand is gathered against the same
+  // metadata, so it also streams k_eff per block.
+  const double streamed =
+      s.passes * k_eff * (s.tile_m * (1.0 + meta) + s.tile_n);
+  // Decomposition-aware dataflow (Fig. 11): each extra term re-reads and
+  // re-writes the C tile at L1 — never at DRAM. The ablation knob
+  // instead streams each term's partial C through the whole hierarchy.
+  const double c_reaccum = 2.0 * s.m * s.n * std::max(0.0, terms - 1.0);
+  double c_l1 = s.m * s.n;
+  double c_l2 = s.m * s.n;
+  double c_dram_extra = 0.0;
+  if (arch.decomposition_aware_dataflow) {
+    c_l1 += c_reaccum;
+  } else {
+    c_l1 += c_reaccum;
+    c_l2 += c_reaccum;
+    c_dram_extra = c_reaccum;
+  }
+  comp(sim, Component::kL1) = (streamed + c_l1) * t.l1;
+  comp(sim, Component::kL2) = (streamed + c_l2) * t.l2;
+
+  // DRAM: the decomposed operand is stored compressed (values + meta).
+  double a_dram = s.m * s.k;  // weight operand
+  double b_dram = s.k * s.n;  // activation operand
+  if (on_weights) {
+    a_dram *= sd * (1.0 + meta);
+  } else {
+    b_dram *= sd * (1.0 + meta);
+  }
+  const double dram_elems = a_dram + b_dram + s.m * s.n + c_dram_extra;
+  comp(sim, Component::kDram) = dram_elems * t.dram;
+
+  // TASD-unit energy: each input element passes the comparator tree once.
+  if (on_acts) comp(sim, Component::kTasdUnit) = s.k * s.n * t.tasd_unit;
+
+  sim.memory_cycles = dram_elems / t.dram_elems_per_cycle;
+  sim.cycles = std::max(sim.compute_cycles, sim.memory_cycles);
+  return sim;
+}
+
+}  // namespace
+
+LayerSim simulate_layer(const ArchConfig& arch, const LayerExecution& exec,
+                        const EnergyTable& table) {
+  TASD_CHECK_MSG(!(exec.weight_cfg && exec.act_cfg),
+                 "cannot exploit weight and activation sparsity "
+                 "concurrently (paper §5.1)");
+  switch (arch.kind) {
+    case HwKind::kDenseTC:
+      return simulate_dense(arch, exec.layer, table);
+    case HwKind::kDSTC:
+      return simulate_dstc(arch, exec.layer, table);
+    case HwKind::kTTC:
+      return simulate_ttc(arch, exec, table);
+  }
+  TASD_CHECK_MSG(false, "unknown hardware kind");
+  return {};
+}
+
+}  // namespace tasd::accel

@@ -1,0 +1,69 @@
+// Analytical per-layer performance/energy model (the Sparseloop-style
+// substrate of the paper's §5.1 methodology).
+//
+// The model counts compute cycles (structured-compressed reduction loop),
+// memory traffic per hierarchy level under the Fig. 11 decomposition-aware
+// dataflow, and per-component energy. It is a counting model, not a
+// cycle-accurate simulator; only relative numbers are meaningful, which is
+// all the paper's normalized figures need.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "accel/arch.hpp"
+#include "accel/energy_table.hpp"
+#include "dnn/workloads.hpp"
+
+namespace tasd::accel {
+
+/// Energy breakdown components (Fig. 15 categories).
+enum class Component : std::size_t {
+  kMac = 0,
+  kRf,
+  kL1,
+  kL2,
+  kDram,
+  kTasdUnit,
+  kAccumBuf,  ///< DSTC's unstructured accumulation-buffer overhead
+  kCount,
+};
+
+constexpr std::size_t kComponentCount =
+    static_cast<std::size_t>(Component::kCount);
+
+/// Name of a component ("MAC", "RF", ...).
+const char* component_name(Component c);
+
+/// One layer plus the TASD decision applied to it. At most one of
+/// weight_cfg / act_cfg may be set (the paper does not exploit both
+/// sparsities concurrently, §5.1).
+struct LayerExecution {
+  dnn::GemmWorkload layer;
+  std::optional<TasdConfig> weight_cfg;  ///< TASD-W series
+  std::optional<TasdConfig> act_cfg;     ///< TASD-A series
+  /// Measured fraction of *all* weight positions kept by the series
+  /// (from an actual decomposition); if unset the model uses
+  /// min(weight_density, series density).
+  std::optional<double> weight_kept_fraction;
+};
+
+/// Simulation result for one layer.
+struct LayerSim {
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  double cycles = 0.0;  ///< max(compute incl. stalls, memory)
+  double effectual_macs = 0.0;
+  double slot_macs = 0.0;  ///< MAC issue slots occupied (burn time)
+  std::array<double, kComponentCount> energy_pj{};
+
+  [[nodiscard]] double total_energy() const;
+  [[nodiscard]] double edp() const { return cycles * total_energy(); }
+};
+
+/// Simulate one layer on one architecture.
+LayerSim simulate_layer(const ArchConfig& arch, const LayerExecution& exec,
+                        const EnergyTable& table = kDefaultEnergy);
+
+}  // namespace tasd::accel

@@ -1,0 +1,61 @@
+#include "accel/tasd_unit.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tasd::accel {
+
+double TasdUnitModel::stall_factor() const {
+  if (available_units == 0) return 1.0;
+  return std::max(1.0,
+                  required_units / static_cast<double>(available_units));
+}
+
+TasdUnitModel tasd_unit_model(const ArchConfig& arch, const TasdConfig& cfg) {
+  TASD_CHECK_MSG(arch.has_tasd_units,
+                 arch.name << " has no TASD units; TASD-A unavailable");
+  TASD_CHECK_MSG(!cfg.terms.empty(), "empty TASD config");
+  const int m = cfg.terms.front().m;
+  for (const auto& t : cfg.terms)
+    TASD_CHECK_MSG(t.m == m, "TASD-A series must share one block size");
+
+  TasdUnitModel model;
+  // PE array emits pe_cols output elements per cycle per engine.
+  model.blocks_per_cycle =
+      static_cast<double>(arch.pe_cols) / static_cast<double>(m);
+  // Extraction takes one cycle per kept element plus one emit cycle
+  // (paper: 4:8+1:8 -> 5 cycles/block).
+  model.cycles_per_block = cfg.extraction_cycles_per_block() + 1;
+  model.required_units =
+      model.blocks_per_cycle * static_cast<double>(model.cycles_per_block);
+  model.available_units = arch.tasd_units_per_engine;
+  return model;
+}
+
+TasdAreaModel tasd_area_model(const ArchConfig& arch) {
+  TasdAreaModel a;
+  // Gate-count estimates (NAND2-equivalent), representative of a 16-bit
+  // datapath:
+  //   fp16 magnitude comparator  ~ 120 gates
+  //   2:1 16-bit mux             ~ 50 gates
+  //   fp16 MAC (mul + add + acc) ~ 4200 gates
+  //   per-PE operand registers   ~ 800 gates
+  const double cmp_gates = 120.0;
+  const double mux_gates = 50.0;
+  const double mac_gates = 4200.0;
+  const double pe_reg_gates = 800.0;
+
+  const int m = std::max(arch.block_size(), 2);
+  // One TASD unit: a comparator tree over an M-block ((M-1) comparators,
+  // (M-1) muxes) plus an M-entry index register (~16 gates/bit * log2M).
+  const double unit_gates =
+      static_cast<double>(m - 1) * (cmp_gates + mux_gates) + 16.0 * 8.0;
+  a.tasd_unit_gates =
+      unit_gates * static_cast<double>(arch.tasd_units_per_engine);
+  a.pe_array_gates = static_cast<double>(arch.pe_rows * arch.pe_cols) *
+                     (mac_gates + pe_reg_gates);
+  return a;
+}
+
+}  // namespace tasd::accel

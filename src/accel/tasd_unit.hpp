@@ -1,0 +1,44 @@
+// TASD-unit pipeline and area models (paper §4.4, Figs. 9–10, §5.4).
+//
+// A TASD unit is a comparator tree that extracts the largest-|value|
+// element of an M-block per cycle; a series with terms N1:M + N2:M + …
+// occupies a unit for ΣNi + 1 cycles per block (extract ΣNi elements,
+// one cycle to emit). The PE array of one TTC emits pe_cols outputs per
+// cycle = pe_cols/M blocks per cycle; with U units per TTC, Little's law
+// gives the no-stall condition U >= blocks_per_cycle * cycles_per_block.
+#pragma once
+
+#include "accel/arch.hpp"
+#include "core/config.hpp"
+
+namespace tasd::accel {
+
+/// Decomposition pipeline occupancy for one TTC engine.
+struct TasdUnitModel {
+  double blocks_per_cycle = 0.0;   ///< produced by the PE array
+  int cycles_per_block = 0;        ///< TASD-unit service time
+  double required_units = 0.0;     ///< Little's law L = λ·W
+  Index available_units = 0;
+
+  /// ≥ 1; multiply compute cycles by this when the decomposition
+  /// pipeline cannot keep up with the PE array.
+  [[nodiscard]] double stall_factor() const;
+};
+
+/// Evaluate the pipeline for an architecture running the given TASD-A
+/// series. Throws if the architecture has no TASD units.
+TasdUnitModel tasd_unit_model(const ArchConfig& arch, const TasdConfig& cfg);
+
+/// Area model (paper §5.4): TASD units are comparator trees. We count
+/// 2-input fp16 comparators + muxes against the MAC gate budget of the PE
+/// array and return the area ratio. The paper reports <= 2 %.
+struct TasdAreaModel {
+  double tasd_unit_gates = 0.0;   ///< per engine, all units
+  double pe_array_gates = 0.0;    ///< per engine
+  [[nodiscard]] double ratio() const {
+    return pe_array_gates > 0.0 ? tasd_unit_gates / pe_array_gates : 0.0;
+  }
+};
+TasdAreaModel tasd_area_model(const ArchConfig& arch);
+
+}  // namespace tasd::accel

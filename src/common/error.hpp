@@ -1,0 +1,50 @@
+// Error handling for the TASD library.
+//
+// All precondition violations throw tasd::Error with a message that
+// includes the failing expression and source location. TASD_CHECK is
+// compiled in every build type (these are API-contract checks, not
+// debug-only asserts).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tasd {
+
+/// Exception type thrown on any TASD API contract violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TASD_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace tasd
+
+/// Contract check, active in all build types. Throws tasd::Error.
+#define TASD_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::tasd::detail::raise_check_failure(#expr, __FILE__, __LINE__, "");  \
+  } while (false)
+
+/// Contract check with a streamed message: TASD_CHECK_MSG(x > 0, "x=" << x).
+#define TASD_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream tasd_check_os_;                                   \
+      tasd_check_os_ << msg;                                               \
+      ::tasd::detail::raise_check_failure(#expr, __FILE__, __LINE__,       \
+                                          tasd_check_os_.str());           \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,40 @@
+// Plain-text table printer used by every bench binary to emit the rows of
+// the paper's tables and figures in a uniform, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tasd {
+
+/// Column-aligned text table. Add a header row, then data rows; str()
+/// renders with column widths fitted to contents.
+class TextTable {
+ public:
+  /// Set the header row. Resets any previously added rows' width info.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row; it may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Convenience: format a percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render the table.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("=== title ===") to stdout.
+void print_banner(const std::string& title);
+
+}  // namespace tasd

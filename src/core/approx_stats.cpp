@@ -1,0 +1,50 @@
+#include "core/approx_stats.hpp"
+
+#include "common/error.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd {
+
+double ApproxStats::dropped_nnz_fraction() const {
+  if (original_nnz == 0) return 0.0;
+  return static_cast<double>(dropped_nnz) /
+         static_cast<double>(original_nnz);
+}
+
+double ApproxStats::dropped_magnitude_fraction() const {
+  if (original_magnitude == 0.0) return 0.0;
+  return dropped_magnitude / original_magnitude;
+}
+
+double ApproxStats::nnz_coverage() const {
+  if (original_nnz == 0) return 1.0;
+  return static_cast<double>(kept_nnz) / static_cast<double>(original_nnz);
+}
+
+double ApproxStats::magnitude_coverage() const {
+  if (original_magnitude == 0.0) return 1.0;
+  return kept_magnitude / original_magnitude;
+}
+
+ApproxStats approx_stats(const MatrixF& original, const Decomposition& d) {
+  TASD_CHECK_MSG(original.rows() == d.residual.rows() &&
+                     original.cols() == d.residual.cols(),
+                 "decomposition shape does not match original");
+  ApproxStats s;
+  s.original_nnz = original.nnz();
+  s.dropped_nnz = d.residual.nnz();
+  s.kept_nnz = s.original_nnz - s.dropped_nnz;
+  s.original_magnitude = magnitude_sum(original);
+  s.dropped_magnitude = magnitude_sum(d.residual);
+  s.kept_magnitude = s.original_magnitude - s.dropped_magnitude;
+  const MatrixF approx = d.approximation();
+  s.mse = mse(original, approx);
+  s.rel_frobenius_error = relative_frobenius_error(original, approx);
+  return s;
+}
+
+ApproxStats approx_stats(const MatrixF& original, const TasdConfig& config) {
+  return approx_stats(original, decompose(original, config));
+}
+
+}  // namespace tasd

@@ -1,0 +1,42 @@
+// Approximation-quality metrics for a TASD decomposition (paper Fig. 4,
+// Fig. 17, Fig. 18): dropped non-zero fraction, dropped magnitude
+// fraction, MSE and relative Frobenius error of the approximation.
+#pragma once
+
+#include "core/decompose.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Quality statistics of approximating `original` by a decomposition.
+struct ApproxStats {
+  Index original_nnz = 0;
+  Index kept_nnz = 0;
+  Index dropped_nnz = 0;
+  double original_magnitude = 0.0;  ///< Σ|a_ij|
+  double kept_magnitude = 0.0;
+  double dropped_magnitude = 0.0;
+  double mse = 0.0;                   ///< mean((A - Â)^2)
+  double rel_frobenius_error = 0.0;   ///< ||A - Â|| / ||A||
+
+  /// dropped_nnz / original_nnz (0 if original had no non-zeros).
+  [[nodiscard]] double dropped_nnz_fraction() const;
+
+  /// dropped_magnitude / original_magnitude (0 if original was all-zero).
+  [[nodiscard]] double dropped_magnitude_fraction() const;
+
+  /// kept_nnz / original_nnz.
+  [[nodiscard]] double nnz_coverage() const;
+
+  /// kept_magnitude / original_magnitude.
+  [[nodiscard]] double magnitude_coverage() const;
+};
+
+/// Compute stats given the original matrix and its decomposition.
+/// The decomposition must have been produced from `original`.
+ApproxStats approx_stats(const MatrixF& original, const Decomposition& d);
+
+/// One-call variant: decompose then evaluate.
+ApproxStats approx_stats(const MatrixF& original, const TasdConfig& config);
+
+}  // namespace tasd

@@ -1,0 +1,108 @@
+#include "core/block_decompose.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+BlockPattern::BlockPattern(Index bh_, Index bw_, Index keep_)
+    : bh(bh_), bw(bw_), keep_per_row(keep_) {
+  TASD_CHECK_MSG(bh > 0 && bw > 0, "block dims must be positive");
+  TASD_CHECK_MSG(keep_per_row > 0, "keep_per_row must be positive");
+}
+
+double BlockPattern::density(Index cols) const {
+  if (cols == 0) return 0.0;
+  const Index tiles_per_row = (cols + bw - 1) / bw;
+  return std::min(1.0, static_cast<double>(keep_per_row) /
+                           static_cast<double>(tiles_per_row));
+}
+
+MatrixF HybridDecomposition::approximation() const {
+  MatrixF acc(residual.rows(), residual.cols());
+  for (const auto& t : block_terms) acc += t.dense;
+  for (const auto& t : nm_terms) acc += t.dense;
+  return acc;
+}
+
+MatrixF HybridDecomposition::reconstruct_exact() const {
+  MatrixF acc = approximation();
+  acc += residual;
+  return acc;
+}
+
+bool HybridDecomposition::lossless() const {
+  for (float v : residual.flat())
+    if (v != 0.0F) return false;
+  return true;
+}
+
+Index HybridDecomposition::kept_nnz() const {
+  Index total = 0;
+  for (const auto& t : block_terms) total += t.dense.nnz();
+  for (const auto& t : nm_terms) total += t.dense.nnz();
+  return total;
+}
+
+BlockSplit split_block(const MatrixF& matrix, const BlockPattern& pattern) {
+  BlockSplit out{MatrixF(matrix.rows(), matrix.cols()), matrix};
+  const Index tile_rows = (matrix.rows() + pattern.bh - 1) / pattern.bh;
+  const Index tile_cols = (matrix.cols() + pattern.bw - 1) / pattern.bw;
+
+  for (Index tr = 0; tr < tile_rows; ++tr) {
+    // Squared Frobenius norm of each tile in this tile-row.
+    std::vector<double> norms(tile_cols, 0.0);
+    const Index r0 = tr * pattern.bh;
+    const Index r1 = std::min(matrix.rows(), r0 + pattern.bh);
+    for (Index tc = 0; tc < tile_cols; ++tc) {
+      const Index c0 = tc * pattern.bw;
+      const Index c1 = std::min(matrix.cols(), c0 + pattern.bw);
+      double acc = 0.0;
+      for (Index r = r0; r < r1; ++r)
+        for (Index c = c0; c < c1; ++c)
+          acc += static_cast<double>(matrix(r, c)) * matrix(r, c);
+      norms[tc] = acc;
+    }
+    // Keep the `keep_per_row` largest-norm tiles (ties: lower index).
+    std::vector<Index> order(tile_cols);
+    std::iota(order.begin(), order.end(), Index{0});
+    const Index keep = std::min<Index>(pattern.keep_per_row, tile_cols);
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(keep),
+                      order.end(), [&norms](Index a, Index b) {
+                        if (norms[a] != norms[b]) return norms[a] > norms[b];
+                        return a < b;
+                      });
+    for (Index i = 0; i < keep; ++i) {
+      const Index tc = order[i];
+      if (norms[tc] == 0.0) continue;  // empty tile: nothing to move
+      const Index c0 = tc * pattern.bw;
+      const Index c1 = std::min(matrix.cols(), c0 + pattern.bw);
+      for (Index r = r0; r < r1; ++r)
+        for (Index c = c0; c < c1; ++c) {
+          out.view(r, c) = matrix(r, c);
+          out.residual(r, c) = 0.0F;
+        }
+    }
+  }
+  return out;
+}
+
+HybridDecomposition hybrid_decompose(const MatrixF& matrix,
+                                     const std::vector<BlockPattern>& blocks,
+                                     const TasdConfig& nm) {
+  HybridDecomposition out;
+  out.residual = matrix;
+  for (const auto& pattern : blocks) {
+    BlockSplit split = split_block(out.residual, pattern);
+    out.block_terms.push_back(BlockTerm{pattern, std::move(split.view)});
+    out.residual = std::move(split.residual);
+  }
+  Decomposition d = decompose(out.residual, nm);
+  out.nm_terms = std::move(d.terms);
+  out.residual = std::move(d.residual);
+  return out;
+}
+
+}  // namespace tasd

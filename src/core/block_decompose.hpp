@@ -1,0 +1,69 @@
+// Block-sparse TASD terms — the paper's generality claim in action.
+//
+// §3 introduces TASD with N:M patterns but notes "the method is general
+// and not limited to only N:M structured sparsity". This module supplies
+// a second structured family: coarse-grained block sparsity (Narang et
+// al.), where each tile-row keeps its K largest-Frobenius-norm bh x bw
+// tiles. Terms from both families compose: a block term can peel the
+// dense clusters and an N:M series mops up the scattered remainder.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/decompose.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Coarse block-sparsity pattern: the matrix is partitioned into
+/// bh x bw tiles; at most `keep_per_row` tiles survive per tile-row.
+struct BlockPattern {
+  Index bh = 4;
+  Index bw = 4;
+  Index keep_per_row = 1;
+
+  BlockPattern() = default;
+  BlockPattern(Index bh_, Index bw_, Index keep_);
+
+  /// Upper bound on the kept-element fraction for a matrix with
+  /// `cols` columns.
+  [[nodiscard]] double density(Index cols) const;
+};
+
+/// One extracted block term.
+struct BlockTerm {
+  BlockPattern pattern;
+  MatrixF dense;
+};
+
+/// Result of a hybrid decomposition: zero or more block terms followed
+/// by zero or more N:M terms, plus the dropped residual.
+struct HybridDecomposition {
+  std::vector<BlockTerm> block_terms;
+  std::vector<TasdTerm> nm_terms;
+  MatrixF residual;
+
+  [[nodiscard]] MatrixF approximation() const;
+  [[nodiscard]] MatrixF reconstruct_exact() const;
+  [[nodiscard]] bool lossless() const;
+
+  /// Kept elements across all terms.
+  [[nodiscard]] Index kept_nnz() const;
+};
+
+/// Split off one block term: keep the `keep_per_row` largest-norm tiles
+/// of each tile-row (move semantics — view + residual == input exactly).
+struct BlockSplit {
+  MatrixF view;
+  MatrixF residual;
+};
+BlockSplit split_block(const MatrixF& matrix, const BlockPattern& pattern);
+
+/// Decompose with `blocks` block terms first (each applied to the running
+/// residual), then the N:M series `nm`.
+HybridDecomposition hybrid_decompose(const MatrixF& matrix,
+                                     const std::vector<BlockPattern>& blocks,
+                                     const TasdConfig& nm);
+
+}  // namespace tasd

@@ -1,0 +1,49 @@
+#include "core/config.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+TasdConfig::TasdConfig(std::vector<sparse::NMPattern> t)
+    : terms(std::move(t)) {}
+
+TasdConfig TasdConfig::parse(const std::string& text) {
+  TasdConfig cfg;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t plus = text.find('+', start);
+    const std::size_t end = plus == std::string::npos ? text.size() : plus;
+    const std::string part = text.substr(start, end - start);
+    TASD_CHECK_MSG(!part.empty(), "empty term in TASD config '" << text << "'");
+    cfg.terms.push_back(sparse::NMPattern::parse(part));
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return cfg;
+}
+
+std::string TasdConfig::str() const {
+  if (terms.empty()) return "<empty>";
+  std::string out;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += '+';
+    out += terms[i].str();
+  }
+  return out;
+}
+
+double TasdConfig::max_density() const {
+  double d = 0.0;
+  for (const auto& p : terms) d += p.density();
+  return std::min(d, 1.0);
+}
+
+int TasdConfig::extraction_cycles_per_block() const {
+  int cycles = 0;
+  for (const auto& p : terms) cycles += p.n;
+  return cycles;
+}
+
+}  // namespace tasd

@@ -1,0 +1,49 @@
+// TASD series configuration (paper §3.1).
+//
+// A configuration is an ordered list of N:M patterns s1, s2, …, sn; term i
+// is the si view of the running residual. "4:8+1:8" denotes a two-term
+// series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/pattern.hpp"
+
+namespace tasd {
+
+/// Ordered TASD series configuration.
+struct TasdConfig {
+  std::vector<sparse::NMPattern> terms;
+
+  TasdConfig() = default;
+  explicit TasdConfig(std::vector<sparse::NMPattern> t);
+
+  /// Parse "N:M+N:M+…" (e.g. "4:8+1:8"). Throws on malformed input.
+  static TasdConfig parse(const std::string& text);
+
+  /// "N:M+N:M" rendering. An empty config (order 0, i.e. "approximate
+  /// everything away") renders as "<empty>".
+  [[nodiscard]] std::string str() const;
+
+  /// Number of terms (the series "order").
+  [[nodiscard]] std::size_t order() const { return terms.size(); }
+
+  /// Upper bound on the fraction of elements the series can retain:
+  /// sum of Ni/Mi, clamped to 1.
+  [[nodiscard]] double max_density() const;
+
+  /// The paper's "approximated sparsity" of the series: 1 - max_density().
+  [[nodiscard]] double approximated_sparsity() const {
+    return 1.0 - max_density();
+  }
+
+  /// Decomposition cost in TASD-unit cycles per M-element block: the sum
+  /// of Ni over terms (paper §4.4: "a TASD unit sequentially extracts the
+  /// largest values", 4:8+1:8 takes 5 cycles/block).
+  [[nodiscard]] int extraction_cycles_per_block() const;
+
+  friend bool operator==(const TasdConfig&, const TasdConfig&) = default;
+};
+
+}  // namespace tasd

@@ -1,0 +1,43 @@
+#include "core/decompose.hpp"
+
+#include "common/error.hpp"
+#include "sparse/view.hpp"
+
+namespace tasd {
+
+MatrixF Decomposition::approximation() const {
+  MatrixF acc(residual.rows(), residual.cols());
+  for (const auto& t : terms) acc += t.dense;
+  return acc;
+}
+
+MatrixF Decomposition::reconstruct_exact() const {
+  MatrixF acc = approximation();
+  acc += residual;
+  return acc;
+}
+
+bool Decomposition::lossless() const {
+  for (float v : residual.flat())
+    if (v != 0.0F) return false;
+  return true;
+}
+
+Decomposition decompose(const MatrixF& matrix, const TasdConfig& config) {
+  Decomposition out;
+  out.config = config;
+  out.residual = matrix;
+  out.terms.reserve(config.terms.size());
+  for (const auto& pattern : config.terms) {
+    auto split = sparse::split_nm(out.residual, pattern);
+    out.terms.push_back(TasdTerm{pattern, std::move(split.view)});
+    out.residual = std::move(split.residual);
+  }
+  return out;
+}
+
+MatrixF approximate(const MatrixF& matrix, const TasdConfig& config) {
+  return decompose(matrix, config).approximation();
+}
+
+}  // namespace tasd

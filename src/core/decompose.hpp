@@ -1,0 +1,52 @@
+// Structured decomposition — the core TASD algorithm (paper §3).
+//
+// decompose(A, cfg) peels cfg.terms off A one at a time: term i is the
+// si-view (largest-|value| per block) of the residual left by terms
+// 1..i-1. The invariant `A == Σ terms + residual` holds *exactly* because
+// elements are moved, never recombined arithmetically.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "sparse/nm_matrix.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// One extracted TASD term: the pattern it satisfies plus its dense and
+/// compressed representations. `dense` always satisfies `pattern`.
+struct TasdTerm {
+  sparse::NMPattern pattern;
+  MatrixF dense;
+
+  /// Compress this term to the hardware format.
+  [[nodiscard]] sparse::NMSparseMatrix compressed() const {
+    return {dense, pattern};
+  }
+};
+
+/// Result of a structured decomposition.
+struct Decomposition {
+  TasdConfig config;
+  std::vector<TasdTerm> terms;
+  MatrixF residual;  ///< what the approximation drops
+
+  /// Sum of the terms (the approximation of the original matrix).
+  [[nodiscard]] MatrixF approximation() const;
+
+  /// approximation() + residual — must equal the original exactly.
+  [[nodiscard]] MatrixF reconstruct_exact() const;
+
+  /// True when nothing was dropped (residual is all zeros).
+  [[nodiscard]] bool lossless() const;
+};
+
+/// Decompose `matrix` with the given series configuration.
+Decomposition decompose(const MatrixF& matrix, const TasdConfig& config);
+
+/// Convenience: just the approximation Σ terms (e.g. for accuracy
+/// experiments that do not need per-term access).
+MatrixF approximate(const MatrixF& matrix, const TasdConfig& config);
+
+}  // namespace tasd

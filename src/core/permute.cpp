@@ -1,0 +1,195 @@
+#include "core/permute.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+double PermutationResult::dropped_nnz_reduction() const {
+  if (before.dropped_nnz == 0) return 0.0;
+  return 1.0 - static_cast<double>(after.dropped_nnz) /
+                   static_cast<double>(before.dropped_nnz);
+}
+
+MatrixF apply_column_permutation(const MatrixF& m,
+                                 const std::vector<Index>& perm) {
+  TASD_CHECK_MSG(perm.size() == m.cols(),
+                 "permutation size " << perm.size() << " != cols "
+                                     << m.cols());
+  MatrixF out(m.rows(), m.cols());
+  for (Index j = 0; j < m.cols(); ++j) {
+    TASD_CHECK_MSG(perm[j] < m.cols(), "permutation index out of range");
+    for (Index r = 0; r < m.rows(); ++r) out(r, j) = m(r, perm[j]);
+  }
+  return out;
+}
+
+MatrixF permute_rows(const MatrixF& m, const std::vector<Index>& perm) {
+  TASD_CHECK_MSG(perm.size() == m.rows(),
+                 "permutation size " << perm.size() << " != rows "
+                                     << m.rows());
+  MatrixF out(m.rows(), m.cols());
+  for (Index i = 0; i < m.rows(); ++i) {
+    TASD_CHECK_MSG(perm[i] < m.rows(), "permutation index out of range");
+    for (Index c = 0; c < m.cols(); ++c) out(i, c) = m(perm[i], c);
+  }
+  return out;
+}
+
+namespace {
+
+/// For a same-M series the greedy decomposition keeps the (Σ Ni) largest
+/// elements of every M-block, so the dropped count of a block with k
+/// non-zeros is exactly max(0, k - slots). This makes the permutation
+/// objective purely combinatorial.
+int series_slots(const TasdConfig& config) {
+  TASD_CHECK_MSG(!config.terms.empty(), "empty TASD config");
+  const int m = config.terms.front().m;
+  int slots = 0;
+  for (const auto& t : config.terms) {
+    TASD_CHECK_MSG(t.m == m,
+                   "permutation search requires a same-M series, got "
+                       << config.str());
+    slots += t.n;
+  }
+  return std::min(slots, m);
+}
+
+Index block_dropped(Index nnz, Index slots) {
+  return nnz > slots ? nnz - slots : 0;
+}
+
+}  // namespace
+
+PermutationResult find_tasd_permutation(const MatrixF& matrix,
+                                        const TasdConfig& config,
+                                        int refine_passes) {
+  PermutationResult result;
+  result.before = approx_stats(matrix, config);
+
+  const auto m = static_cast<Index>(config.terms.front().m);
+  const auto slots = static_cast<Index>(series_slots(config));
+  const Index cols = matrix.cols();
+  const Index rows = matrix.rows();
+  const Index groups = (cols + m - 1) / m;
+
+  // --- construction: deal columns (densest first) round-robin over the
+  // groups so block occupancy is balanced.
+  std::vector<Index> col_nnz(cols, 0);
+  for (Index r = 0; r < rows; ++r) {
+    auto row = matrix.row(r);
+    for (Index c = 0; c < cols; ++c)
+      if (row[c] != 0.0F) ++col_nnz[c];
+  }
+  std::vector<Index> order(cols);
+  std::iota(order.begin(), order.end(), Index{0});
+  std::stable_sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return col_nnz[a] > col_nnz[b];
+  });
+  // group_cols[g] collects the original column ids assigned to group g.
+  std::vector<std::vector<Index>> group_cols(groups);
+  // Tail group may be shorter; compute capacities first.
+  std::vector<Index> capacity(groups, m);
+  if (cols % m != 0) capacity[groups - 1] = cols % m;
+  {
+    Index g = 0;
+    for (Index c : order) {
+      while (group_cols[g].size() >= capacity[g]) g = (g + 1) % groups;
+      group_cols[g].push_back(c);
+      g = (g + 1) % groups;
+      // Skip full groups.
+      Index guard = 0;
+      while (group_cols[g].size() >= capacity[g] && guard++ < groups)
+        g = (g + 1) % groups;
+    }
+  }
+
+  // Per-(row, group) non-zero counts for O(rows) swap deltas.
+  std::vector<std::vector<Index>> cnt(groups, std::vector<Index>(rows, 0));
+  for (Index g = 0; g < groups; ++g)
+    for (Index c : group_cols[g])
+      for (Index r = 0; r < rows; ++r)
+        if (matrix(r, c) != 0.0F) ++cnt[g][r];
+
+  auto group_overflow = [&](Index g) {
+    Index total = 0;
+    for (Index r = 0; r < rows; ++r) total += block_dropped(cnt[g][r], slots);
+    return total;
+  };
+
+  // --- refinement: move the densest column of the worst group into the
+  // emptiest groups if that reduces total dropped non-zeros.
+  for (int pass = 0; pass < refine_passes; ++pass) {
+    bool improved = false;
+    std::vector<Index> by_overflow(groups);
+    std::iota(by_overflow.begin(), by_overflow.end(), Index{0});
+    std::stable_sort(by_overflow.begin(), by_overflow.end(),
+                     [&](Index a, Index b) {
+                       return group_overflow(a) > group_overflow(b);
+                     });
+    for (Index gi = 0; gi < groups; ++gi) {
+      const Index g1 = by_overflow[gi];
+      if (group_overflow(g1) == 0) break;
+      // Candidate partners: the least-overflowing groups.
+      const Index partners = std::min<Index>(8, groups);
+      for (Index pj = 0; pj < partners; ++pj) {
+        const Index g2 = by_overflow[groups - 1 - pj];
+        if (g2 == g1) continue;
+        // Try every (a in g1, b in g2) pair; keep the best swap.
+        long long best_delta = 0;
+        Index best_a = 0, best_b = 0;
+        bool found = false;
+        for (Index a : group_cols[g1]) {
+          for (Index b : group_cols[g2]) {
+            long long delta = 0;
+            for (Index r = 0; r < rows; ++r) {
+              const Index az = matrix(r, a) != 0.0F ? 1 : 0;
+              const Index bz = matrix(r, b) != 0.0F ? 1 : 0;
+              if (az == bz) continue;
+              const Index n1 = cnt[g1][r];
+              const Index n2 = cnt[g2][r];
+              const Index n1p = n1 - az + bz;
+              const Index n2p = n2 - bz + az;
+              delta += static_cast<long long>(block_dropped(n1p, slots)) +
+                       static_cast<long long>(block_dropped(n2p, slots)) -
+                       static_cast<long long>(block_dropped(n1, slots)) -
+                       static_cast<long long>(block_dropped(n2, slots));
+            }
+            if (delta < best_delta) {
+              best_delta = delta;
+              best_a = a;
+              best_b = b;
+              found = true;
+            }
+          }
+        }
+        if (found) {
+          // Commit the swap: update membership and counts.
+          auto& v1 = group_cols[g1];
+          auto& v2 = group_cols[g2];
+          *std::find(v1.begin(), v1.end(), best_a) = best_b;
+          *std::find(v2.begin(), v2.end(), best_b) = best_a;
+          for (Index r = 0; r < rows; ++r) {
+            const Index az = matrix(r, best_a) != 0.0F ? 1 : 0;
+            const Index bz = matrix(r, best_b) != 0.0F ? 1 : 0;
+            cnt[g1][r] = cnt[g1][r] - az + bz;
+            cnt[g2][r] = cnt[g2][r] - bz + az;
+          }
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.perm.reserve(cols);
+  for (Index g = 0; g < groups; ++g)
+    for (Index c : group_cols[g]) result.perm.push_back(c);
+  result.after =
+      approx_stats(apply_column_permutation(matrix, result.perm), config);
+  return result;
+}
+
+}  // namespace tasd

@@ -1,0 +1,50 @@
+// Channel permutation for TASD (paper §6.1).
+//
+// The paper notes TASD is compatible with the channel-permutation trick
+// (Pool & Yu, NeurIPS'21): reordering the columns of a weight matrix
+// regroups which elements share an M-block, which can substantially
+// reduce what an N:M view must drop. This module implements the search
+// as an optional pre-pass: find a single column permutation that
+// minimizes the series' dropped non-zeros; the GEMM stays exact because
+// C = A·B = A[:,p]·B[p,:].
+#pragma once
+
+#include <vector>
+
+#include "core/approx_stats.hpp"
+#include "core/config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// A column permutation and its effect on decomposition quality.
+struct PermutationResult {
+  std::vector<Index> perm;   ///< new column j comes from old column perm[j]
+  ApproxStats before;        ///< stats with the identity permutation
+  ApproxStats after;         ///< stats with `perm` applied
+
+  /// Relative reduction of dropped non-zeros (0 = none, 1 = all saved).
+  [[nodiscard]] double dropped_nnz_reduction() const;
+};
+
+/// Reorder columns: out(:, j) = in(:, perm[j]).
+MatrixF apply_column_permutation(const MatrixF& m,
+                                 const std::vector<Index>& perm);
+
+/// Reorder rows (for the B operand of a permuted GEMM):
+/// out(perm-inverse applied) such that A_perm * permute_rows(B, perm)
+/// == A * B. Concretely out(i, :) = in(perm[i], :).
+MatrixF permute_rows(const MatrixF& m, const std::vector<Index>& perm);
+
+/// Search a column permutation that reduces the dropped non-zeros of
+/// decompose(A, cfg).
+///
+/// Strategy: density-balancing construction (deal columns, sorted by
+/// non-zero count, round-robin across the M-column groups) followed by
+/// `refine_passes` of greedy pairwise-swap hill climbing on the exact
+/// dropped-non-zero objective. Deterministic.
+PermutationResult find_tasd_permutation(const MatrixF& matrix,
+                                        const TasdConfig& config,
+                                        int refine_passes = 2);
+
+}  // namespace tasd

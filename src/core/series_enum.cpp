@@ -1,0 +1,96 @@
+#include "core/series_enum.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+namespace {
+
+/// Recursive subset builder over the supported patterns.
+void build(const std::vector<sparse::NMPattern>& supported, std::size_t from,
+           int remaining_terms, std::vector<sparse::NMPattern>& current,
+           std::vector<TasdConfig>& out) {
+  if (!current.empty()) {
+    auto sorted = current;
+    // Densest-first extraction order inside a series.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const sparse::NMPattern& a, const sparse::NMPattern& b) {
+                if (a.density() != b.density()) return a.density() > b.density();
+                return a.m < b.m;
+              });
+    out.emplace_back(std::move(sorted));
+  }
+  if (remaining_terms == 0) return;
+  for (std::size_t i = from; i < supported.size(); ++i) {
+    current.push_back(supported[i]);
+    build(supported, i + 1, remaining_terms - 1, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<TasdConfig> enumerate_configs(
+    const std::vector<sparse::NMPattern>& supported, int max_terms) {
+  TASD_CHECK_MSG(max_terms >= 1, "max_terms must be >= 1");
+  std::vector<TasdConfig> out;
+  std::vector<sparse::NMPattern> current;
+  // Dedicated top-level loop so the empty config is never emitted.
+  for (std::size_t i = 0; i < supported.size(); ++i) {
+    current.push_back(supported[i]);
+    build(supported, i + 1, max_terms - 1, current, out);
+    current.pop_back();
+  }
+  // Deduplicate identical term multisets.
+  std::sort(out.begin(), out.end(), [](const TasdConfig& a, const TasdConfig& b) {
+    if (a.terms.size() != b.terms.size()) return a.terms.size() < b.terms.size();
+    return a.str() < b.str();
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Most aggressive first (highest approximated sparsity == lowest density).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TasdConfig& a, const TasdConfig& b) {
+                     return a.max_density() < b.max_density();
+                   });
+  return out;
+}
+
+std::optional<TasdConfig> config_for_effective_pattern(
+    const std::vector<sparse::NMPattern>& supported, int max_terms, int n,
+    int m) {
+  TASD_CHECK_MSG(m > 0 && n >= 0 && n <= m,
+                 "invalid effective pattern " << n << ":" << m);
+  std::optional<TasdConfig> best;
+  for (auto& cfg : enumerate_configs(supported, max_terms)) {
+    // Σ Ni/Mi must equal n/m exactly; compare as integer cross-products
+    // over a common denominator to avoid floating-point equality.
+    // density = Σ Ni/Mi == n/m  <=>  m * Σ(Ni * Π Mj≠i) == n * Π Mi.
+    long long num = 0;
+    long long den = 1;
+    for (const auto& p : cfg.terms) den *= p.m;
+    for (std::size_t i = 0; i < cfg.terms.size(); ++i) {
+      long long partial = cfg.terms[i].n;
+      for (std::size_t j = 0; j < cfg.terms.size(); ++j)
+        if (j != i) partial *= cfg.terms[j].m;
+      num += partial;
+    }
+    if (num * m == static_cast<long long>(n) * den) {
+      if (!best || cfg.terms.size() < best->terms.size()) best = cfg;
+    }
+  }
+  return best;
+}
+
+std::vector<int> reachable_effective_n(
+    const std::vector<sparse::NMPattern>& supported, int max_terms, int m) {
+  std::set<int> ns;
+  for (int n = 0; n <= m; ++n) {
+    if (config_for_effective_pattern(supported, max_terms, n, m)) ns.insert(n);
+  }
+  return {ns.begin(), ns.end()};
+}
+
+}  // namespace tasd

@@ -1,0 +1,39 @@
+// Enumeration of the TASD series a given piece of structured sparse
+// hardware can execute (paper Table 2).
+//
+// Hardware supports a base set of N:M patterns (e.g. VEGETA-M8: {1:8,
+// 2:8, 4:8}); with up to `max_terms` TASD terms the achievable *effective*
+// densities are the subset sums of the base densities. Table 2's
+// "5:8 = 4:8 + 1:8" falls out of this enumeration.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace tasd {
+
+/// All distinct TASD configurations with 1..max_terms terms drawn from
+/// `supported` (combinations without repetition, each pattern usable at
+/// most once per series — matching the paper's Table 2 where every N:8
+/// pattern appears at most once). Terms within a config are ordered
+/// densest-first (the greedy extraction order). Results are sorted from
+/// most aggressive (highest approximated sparsity) to least.
+std::vector<TasdConfig> enumerate_configs(
+    const std::vector<sparse::NMPattern>& supported, int max_terms);
+
+/// The config from enumerate_configs() whose total density Σ Ni/Mi
+/// exactly provides `n`:`m` effective sparsity, if one exists (Table 2
+/// lookup: effective 5:8 → "4:8+1:8"). Prefers fewer terms.
+std::optional<TasdConfig> config_for_effective_pattern(
+    const std::vector<sparse::NMPattern>& supported, int max_terms, int n,
+    int m);
+
+/// Effective N numerators (over denominator m) reachable with ≤ max_terms
+/// terms — Table 2's left column. Includes 0 (empty config excluded, but
+/// n=0 pattern may exist) only if reachable.
+std::vector<int> reachable_effective_n(
+    const std::vector<sparse::NMPattern>& supported, int max_terms, int m);
+
+}  // namespace tasd

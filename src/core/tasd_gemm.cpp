@@ -1,0 +1,33 @@
+#include "core/tasd_gemm.hpp"
+
+#include "common/error.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace tasd {
+
+MatrixF tasd_gemm(const MatrixF& a, const MatrixF& b,
+                  const TasdConfig& config) {
+  return tasd_gemm(decompose(a, config), b);
+}
+
+MatrixF tasd_gemm(const Decomposition& a_decomposed, const MatrixF& b) {
+  TASD_CHECK_MSG(a_decomposed.residual.cols() == b.rows(),
+                 "TASD GEMM inner dim mismatch: A cols "
+                     << a_decomposed.residual.cols() << " vs B rows "
+                     << b.rows());
+  MatrixF c(a_decomposed.residual.rows(), b.cols());
+  for (const auto& term : a_decomposed.terms)
+    gemm_ref_accumulate(term.dense, b, c);
+  return c;
+}
+
+Index tasd_gemm_macs(const Decomposition& a_decomposed, Index b_cols) {
+  Index macs = 0;
+  for (const auto& term : a_decomposed.terms)
+    macs += term.dense.nnz() * b_cols;
+  return macs;
+}
+
+Index dense_gemm_macs(Index m, Index k, Index n) { return m * k * n; }
+
+}  // namespace tasd

@@ -1,0 +1,33 @@
+// TASD-approximated matrix multiplication (paper §3.2).
+//
+// C = A*B ≈ Σ_i Ai*B, executing one structured sparse GEMM per term via
+// the distributive property. This is the functional (bit-accurate
+// numerics, not performance) model of what a structured sparse
+// accelerator executes; the performance model lives in src/accel/ and the
+// timed CPU kernels in src/runtime/.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/decompose.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Approximate C = A*B by decomposing A with `config` and accumulating
+/// one term-GEMM per series term.
+MatrixF tasd_gemm(const MatrixF& a, const MatrixF& b,
+                  const TasdConfig& config);
+
+/// Same, reusing a precomputed decomposition of A (e.g. static weights
+/// decomposed offline by TASD-W).
+MatrixF tasd_gemm(const Decomposition& a_decomposed, const MatrixF& b);
+
+/// Number of scalar multiply-accumulates the term GEMMs execute (counting
+/// one MAC per stored non-zero of each term times B's width). This is the
+/// "MACs" metric of paper Fig. 20.
+Index tasd_gemm_macs(const Decomposition& a_decomposed, Index b_cols);
+
+/// MACs for a dense GEMM of the same shape.
+Index dense_gemm_macs(Index m, Index k, Index n);
+
+}  // namespace tasd

@@ -1,0 +1,43 @@
+#include "dnn/act_fn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasd::dnn {
+
+float apply_act(ActKind kind, float x) {
+  switch (kind) {
+    case ActKind::kNone:
+      return x;
+    case ActKind::kRelu:
+      return x > 0.0F ? x : 0.0F;
+    case ActKind::kRelu6:
+      return std::clamp(x, 0.0F, 6.0F);
+    case ActKind::kGelu: {
+      // tanh approximation of GELU.
+      const float c = 0.7978845608028654F;  // sqrt(2/pi)
+      const float inner = c * (x + 0.044715F * x * x * x);
+      return 0.5F * x * (1.0F + std::tanh(inner));
+    }
+    case ActKind::kSwish:
+      return x / (1.0F + std::exp(-x));
+  }
+  return x;
+}
+
+std::string act_name(ActKind kind) {
+  switch (kind) {
+    case ActKind::kNone: return "none";
+    case ActKind::kRelu: return "relu";
+    case ActKind::kRelu6: return "relu6";
+    case ActKind::kGelu: return "gelu";
+    case ActKind::kSwish: return "swish";
+  }
+  return "?";
+}
+
+bool induces_sparsity(ActKind kind) {
+  return kind == ActKind::kRelu || kind == ActKind::kRelu6;
+}
+
+}  // namespace tasd::dnn

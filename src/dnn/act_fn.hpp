@@ -1,0 +1,29 @@
+// Non-linear activation functions (paper §2.2): ReLU-family functions
+// induce true zeros (activation sparsity); GELU/Swish do not, which is
+// what motivates the paper's pseudo-density heuristic.
+#pragma once
+
+#include <string>
+
+namespace tasd::dnn {
+
+/// Supported activation non-linearities.
+enum class ActKind {
+  kNone,   ///< identity
+  kRelu,
+  kRelu6,
+  kGelu,   ///< tanh approximation, matches common framework defaults
+  kSwish,  ///< x * sigmoid(x)
+};
+
+/// Apply the scalar activation function.
+float apply_act(ActKind kind, float x);
+
+/// Human-readable name ("relu", "gelu", ...).
+std::string act_name(ActKind kind);
+
+/// True when the function clips to exact zeros (ReLU family) — such
+/// layers produce genuinely sparse activations.
+bool induces_sparsity(ActKind kind);
+
+}  // namespace tasd::dnn

@@ -1,0 +1,159 @@
+#include "dnn/attention.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace tasd::dnn {
+
+AttentionLayer::AttentionLayer(Index dim, Index heads, Rng& rng)
+    : dim_(dim), heads_(heads) {
+  TASD_CHECK_MSG(dim % heads == 0, "attention dim " << dim
+                                                    << " not divisible by "
+                                                    << heads << " heads");
+  wq_ = make_linear(dim, dim, ActKind::kNone, rng);
+  wk_ = make_linear(dim, dim, ActKind::kNone, rng);
+  wv_ = make_linear(dim, dim, ActKind::kNone, rng);
+  wo_ = make_linear(dim, dim, ActKind::kNone, rng);
+  // Paper §4.3: dynamic decomposition on QKV/out projections does not
+  // retain quality; TASDER must not target them with TASD-A.
+  for (auto* l : {wq_.get(), wk_.get(), wv_.get(), wo_.get()})
+    l->set_allow_tasd_a(false);
+  wq_->set_name("attn.q");
+  wk_->set_name("attn.k");
+  wv_->set_name("attn.v");
+  wo_->set_name("attn.out");
+}
+
+Feature AttentionLayer::forward(const Feature& in) {
+  const MatrixF& x = in.matrix();
+  TASD_CHECK_MSG(x.rows() == dim_, "attention input features " << x.rows()
+                                                               << " != dim "
+                                                               << dim_);
+  const Index tokens = x.cols();
+  const Index dh = dim_ / heads_;
+
+  const MatrixF q = wq_->forward(in).matrix();
+  const MatrixF k = wk_->forward(in).matrix();
+  const MatrixF v = wv_->forward(in).matrix();
+
+  MatrixF context(dim_, tokens);
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dh));
+  // Per-head scaled dot-product attention.
+  for (Index h = 0; h < heads_; ++h) {
+    const Index base = h * dh;
+    // scores(i, j) = q_i . k_j over this head's features.
+    MatrixF scores(tokens, tokens);
+    for (Index i = 0; i < tokens; ++i)
+      for (Index j = 0; j < tokens; ++j) {
+        float acc = 0.0F;
+        for (Index f = 0; f < dh; ++f) acc += q(base + f, i) * k(base + f, j);
+        scores(i, j) = acc * scale;
+      }
+    // Row softmax (max-subtracted for numerical stability).
+    for (Index i = 0; i < tokens; ++i) {
+      auto row = scores.row(i);
+      float mx = row[0];
+      for (float s : row) mx = std::max(mx, s);
+      float sum = 0.0F;
+      for (float& s : row) {
+        s = std::exp(s - mx);
+        sum += s;
+      }
+      for (float& s : row) s /= sum;
+    }
+    // context_i = sum_j attn(i,j) * v_j.
+    for (Index i = 0; i < tokens; ++i)
+      for (Index f = 0; f < dh; ++f) {
+        float acc = 0.0F;
+        for (Index j = 0; j < tokens; ++j) acc += scores(i, j) * v(base + f, j);
+        context(base + f, i) = acc;
+      }
+  }
+
+  MatrixF projected = wo_->forward(Feature(std::move(context))).matrix();
+  // Skip-dominant residual mixing (see kResidualSkipScale).
+  for (Index r = 0; r < projected.rows(); ++r)
+    for (Index c = 0; c < projected.cols(); ++c)
+      projected(r, c) = projected(r, c) * kResidualBranchScale +
+                        x(r, c) * kResidualSkipScale;
+  return Feature(std::move(projected));
+}
+
+void AttentionLayer::collect_gemm_layers(std::vector<GemmLayer*>& out) {
+  wq_->collect_gemm_layers(out);
+  wk_->collect_gemm_layers(out);
+  wv_->collect_gemm_layers(out);
+  wo_->collect_gemm_layers(out);
+}
+
+// -------------------------------------------------------- TokenMlpBlockLayer
+
+namespace {
+
+/// Per-token LayerNorm over features, returning a normalized copy.
+MatrixF layer_norm_cols(const MatrixF& x) {
+  MatrixF out = x;
+  const double eps = 1e-5;
+  for (Index c = 0; c < out.cols(); ++c) {
+    double mean = 0.0;
+    for (Index r = 0; r < out.rows(); ++r) mean += out(r, c);
+    mean /= static_cast<double>(out.rows());
+    double var = 0.0;
+    for (Index r = 0; r < out.rows(); ++r) {
+      const double d = out(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(out.rows());
+    const double inv = 1.0 / std::sqrt(var + eps);
+    for (Index r = 0; r < out.rows(); ++r)
+      out(r, c) = static_cast<float>((out(r, c) - mean) * inv);
+  }
+  return out;
+}
+
+}  // namespace
+
+TokenMlpBlockLayer::TokenMlpBlockLayer(Index dim, Index hidden, ActKind act,
+                                       Rng& rng) {
+  fc1_ = make_linear(dim, hidden, act, rng);
+  fc2_ = make_linear(hidden, dim, ActKind::kNone, rng);
+  fc1_->set_name("mlp.fc1");
+  fc2_->set_name("mlp.fc2");
+}
+
+Feature TokenMlpBlockLayer::forward(const Feature& in) {
+  const MatrixF& x = in.matrix();
+  Feature h = fc1_->forward(Feature(layer_norm_cols(x)));
+  MatrixF y = fc2_->forward(h).matrix();
+  for (Index r = 0; r < y.rows(); ++r)
+    for (Index c = 0; c < y.cols(); ++c)
+      y(r, c) =
+          y(r, c) * kResidualBranchScale + x(r, c) * kResidualSkipScale;
+  return Feature(std::move(y));
+}
+
+void TokenMlpBlockLayer::collect_gemm_layers(std::vector<GemmLayer*>& out) {
+  fc1_->collect_gemm_layers(out);
+  fc2_->collect_gemm_layers(out);
+}
+
+// --------------------------------------------------------- TokenMeanPool/LN
+
+Feature TokenMeanPoolLayer::forward(const Feature& in) {
+  const MatrixF& x = in.matrix();
+  MatrixF out(x.rows(), 1);
+  for (Index r = 0; r < x.rows(); ++r) {
+    double acc = 0.0;
+    for (Index c = 0; c < x.cols(); ++c) acc += x(r, c);
+    out(r, 0) = static_cast<float>(acc / static_cast<double>(x.cols()));
+  }
+  return Feature(std::move(out));
+}
+
+Feature TokenNormLayer::forward(const Feature& in) {
+  return Feature(layer_norm_cols(in.matrix()));
+}
+
+}  // namespace tasd::dnn

@@ -1,0 +1,59 @@
+// Multi-head self-attention for the transformer substrate.
+//
+// Operates on (features x tokens) matrices. Q/K/V/output projections are
+// GemmLayers so TASD-W can decompose their (pruned) weights; TASD-A is
+// disabled on them per the paper's finding that only the MLP FCs keep
+// quality (§4.3, Fig. 8).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dnn/layers.hpp"
+
+namespace tasd::dnn {
+
+/// Pre-LN multi-head self-attention with residual connection:
+/// out = x + Wo * Attention(Wq x, Wk x, Wv x).
+class AttentionLayer final : public Layer {
+ public:
+  AttentionLayer(Index dim, Index heads, Rng& rng);
+
+  Feature forward(const Feature& in) override;
+  void collect_gemm_layers(std::vector<GemmLayer*>& out) override;
+
+  [[nodiscard]] Index dim() const { return dim_; }
+  [[nodiscard]] Index heads() const { return heads_; }
+
+ private:
+  Index dim_;
+  Index heads_;
+  std::unique_ptr<LinearLayer> wq_, wk_, wv_, wo_;
+};
+
+/// Transformer MLP block with residual: x + fc2(act(fc1(LN(x)))).
+/// fc1/fc2 are the TFC layers of paper Fig. 8(d) — TASD-A eligible.
+class TokenMlpBlockLayer final : public Layer {
+ public:
+  TokenMlpBlockLayer(Index dim, Index hidden, ActKind act, Rng& rng);
+
+  Feature forward(const Feature& in) override;
+  void collect_gemm_layers(std::vector<GemmLayer*>& out) override;
+
+ private:
+  std::unique_ptr<LinearLayer> fc1_, fc2_;
+};
+
+/// Mean-pool tokens: (features x tokens) -> (features x 1).
+class TokenMeanPoolLayer final : public Layer {
+ public:
+  Feature forward(const Feature& in) override;
+};
+
+/// Standalone per-token LayerNorm over features.
+class TokenNormLayer final : public Layer {
+ public:
+  Feature forward(const Feature& in) override;
+};
+
+}  // namespace tasd::dnn

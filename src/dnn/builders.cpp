@@ -1,0 +1,302 @@
+#include "dnn/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dnn/attention.hpp"
+
+namespace tasd::dnn {
+
+namespace {
+
+Index scaled(Index base, double mult) {
+  return std::max<Index>(4, static_cast<Index>(std::lround(
+                                static_cast<double>(base) * mult)));
+}
+
+std::string stage_name(const char* prefix, Index stage, Index block,
+                       const char* leaf) {
+  return std::string(prefix) + std::to_string(stage) + ".b" +
+         std::to_string(block) + "." + leaf;
+}
+
+/// Basic (two 3x3 convs) residual block, ResNet-18/34 style.
+std::unique_ptr<Layer> basic_block(Index in_ch, Index out_ch, Index stride,
+                                   Index stage, Index block, Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> branch;
+  auto c1 = make_conv(in_ch, out_ch, 3, stride, 1, ActKind::kRelu, rng);
+  c1->set_name(stage_name("s", stage, block, "conv1"));
+  auto c2 = make_conv(out_ch, out_ch, 3, 1, 1, ActKind::kNone, rng);
+  c2->set_name(stage_name("s", stage, block, "conv2"));
+  branch.push_back(std::move(c1));
+  branch.push_back(std::move(c2));
+
+  std::unique_ptr<Layer> project;
+  if (in_ch != out_ch || stride != 1) {
+    auto p = make_conv(in_ch, out_ch, 1, stride, 0, ActKind::kNone, rng);
+    p->set_name(stage_name("s", stage, block, "proj"));
+    // Fig. 8(b): TASD layers sit before the branch TCONVs only — the
+    // projection (skip) path is not dynamically decomposed.
+    p->set_allow_tasd_a(false);
+    project = std::move(p);
+  }
+  return std::make_unique<ResBlockLayer>(std::move(branch), std::move(project),
+                                         ActKind::kRelu);
+}
+
+/// Bottleneck (1x1 -> 3x3 -> 1x1, expansion 4) block, ResNet-50 style.
+std::unique_ptr<Layer> bottleneck_block(Index in_ch, Index mid_ch,
+                                        Index stride, Index stage, Index block,
+                                        Rng& rng) {
+  const Index out_ch = mid_ch * 4;
+  std::vector<std::unique_ptr<Layer>> branch;
+  auto c1 = make_conv(in_ch, mid_ch, 1, 1, 0, ActKind::kRelu, rng);
+  c1->set_name(stage_name("s", stage, block, "conv1"));
+  auto c2 = make_conv(mid_ch, mid_ch, 3, stride, 1, ActKind::kRelu, rng);
+  c2->set_name(stage_name("s", stage, block, "conv2"));
+  auto c3 = make_conv(mid_ch, out_ch, 1, 1, 0, ActKind::kNone, rng);
+  c3->set_name(stage_name("s", stage, block, "conv3"));
+  branch.push_back(std::move(c1));
+  branch.push_back(std::move(c2));
+  branch.push_back(std::move(c3));
+
+  std::unique_ptr<Layer> project;
+  if (in_ch != out_ch || stride != 1) {
+    auto p = make_conv(in_ch, out_ch, 1, stride, 0, ActKind::kNone, rng);
+    p->set_name(stage_name("s", stage, block, "proj"));
+    p->set_allow_tasd_a(false);  // skip path, not a Fig. 8 TASD target
+    project = std::move(p);
+  }
+  return std::make_unique<ResBlockLayer>(std::move(branch), std::move(project),
+                                         ActKind::kRelu);
+}
+
+/// ConvNeXt-flavoured block: 3x3 -> 1x1 expand -> 1x1 reduce, GELU, no
+/// post-add activation.
+std::unique_ptr<Layer> convnext_block(Index ch, Index stage, Index block,
+                                      Rng& rng) {
+  std::vector<std::unique_ptr<Layer>> branch;
+  auto c1 = make_conv(ch, ch, 3, 1, 1, ActKind::kGelu, rng);
+  c1->set_name(stage_name("cx", stage, block, "dw"));
+  auto c2 = make_conv(ch, ch * 2, 1, 1, 0, ActKind::kGelu, rng);
+  c2->set_name(stage_name("cx", stage, block, "pw1"));
+  auto c3 = make_conv(ch * 2, ch, 1, 1, 0, ActKind::kNone, rng);
+  c3->set_name(stage_name("cx", stage, block, "pw2"));
+  branch.push_back(std::move(c1));
+  branch.push_back(std::move(c2));
+  branch.push_back(std::move(c3));
+  return std::make_unique<ResBlockLayer>(std::move(branch), nullptr,
+                                         ActKind::kNone);
+}
+
+void add_classifier_head(Model& model, Index feat, Index hidden,
+                         Index num_classes, Rng& rng) {
+  model.add(std::make_unique<GlobalAvgPoolLayer>());
+  auto fc1 = make_linear(feat, hidden, ActKind::kRelu, rng);
+  fc1->set_name("head.fc1");
+  // The classifier head is not a Fig. 8 TASD-A target (the paper inserts
+  // TASD layers inside ResBlocks / transformer MLPs only), and its pooled
+  // input feeds logits directly — decomposing it flips predictions.
+  fc1->set_allow_tasd_a(false);
+  model.add(std::move(fc1));
+  auto fc2 = make_linear(hidden, num_classes, ActKind::kNone, rng);
+  fc2->set_name("head.fc2");
+  fc2->set_allow_tasd_a(false);
+  model.add(std::move(fc2));
+}
+
+}  // namespace
+
+Model make_resnet(int depth, const ConvNetOptions& opt) {
+  std::vector<Index> blocks;
+  bool bottleneck = false;
+  switch (depth) {
+    case 18: blocks = {2, 2, 2, 2}; break;
+    case 34: blocks = {3, 4, 6, 3}; break;
+    case 50: blocks = {3, 4, 6, 3}; bottleneck = true; break;
+    default:
+      TASD_CHECK_MSG(false, "unsupported ResNet depth " << depth
+                                                        << " (18/34/50)");
+  }
+  Rng rng(opt.seed);
+  Model model("resnet" + std::to_string(depth), InputKind::kImage);
+
+  const Index w0 = scaled(64, opt.width_mult);
+  auto stem = make_conv(opt.input_channels, w0, 3, 1, 1, ActKind::kRelu, rng);
+  stem->set_name("stem");
+  model.add(std::move(stem));
+
+  Index in_ch = w0;
+  for (Index stage = 0; stage < 4; ++stage) {
+    const Index width = scaled(64 << stage, opt.width_mult);
+    for (Index b = 0; b < blocks[stage]; ++b) {
+      const Index stride = (stage > 0 && b == 0) ? 2 : 1;
+      if (bottleneck) {
+        model.add(bottleneck_block(in_ch, width, stride, stage, b, rng));
+        in_ch = width * 4;
+      } else {
+        model.add(basic_block(in_ch, width, stride, stage, b, rng));
+        in_ch = width;
+      }
+    }
+  }
+  add_classifier_head(model, in_ch, std::max<Index>(in_ch / 2, 16),
+                      opt.num_classes, rng);
+  return model;
+}
+
+Model make_vgg(int depth, const ConvNetOptions& opt) {
+  // 'M' = maxpool. Channel plans of the original VGG configs.
+  std::vector<int> plan;
+  switch (depth) {
+    case 11: plan = {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+      break;
+    case 16:
+      plan = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+              512, 512, 512, -1, 512, 512, 512, -1};
+      break;
+    default:
+      TASD_CHECK_MSG(false, "unsupported VGG depth " << depth << " (11/16)");
+  }
+  Rng rng(opt.seed);
+  Model model("vgg" + std::to_string(depth), InputKind::kImage);
+  Index in_ch = opt.input_channels;
+  Index conv_idx = 0;
+  Index hw = opt.input_hw;
+  for (int p : plan) {
+    if (p < 0) {
+      // Stop pooling once the spatial size reaches 2x2.
+      if (hw >= 4) {
+        model.add(std::make_unique<MaxPool2Layer>());
+        hw /= 2;
+      }
+      continue;
+    }
+    const Index out_ch = scaled(p, opt.width_mult);
+    auto c = make_conv(in_ch, out_ch, 3, 1, 1, ActKind::kRelu, rng);
+    c->set_name("conv" + std::to_string(conv_idx++));
+    model.add(std::move(c));
+    in_ch = out_ch;
+  }
+  add_classifier_head(model, in_ch, std::max<Index>(in_ch / 2, 16),
+                      opt.num_classes, rng);
+  return model;
+}
+
+Model make_convnext(const ConvNetOptions& opt) {
+  Rng rng(opt.seed);
+  Model model("convnext_tiny", InputKind::kImage);
+  const std::vector<Index> depths = {2, 2, 4, 2};  // Tiny is 3-3-9-3; scaled
+  Index in_ch = opt.input_channels;
+  for (Index stage = 0; stage < 4; ++stage) {
+    const Index width = scaled(96 << stage, opt.width_mult);
+    // Downsampling patch conv between stages (stride 2, except stage 0 on
+    // small inputs where we keep resolution).
+    const Index stride = stage == 0 ? 1 : 2;
+    auto down = make_conv(in_ch, width, stride == 1 ? 3 : 2, stride,
+                          stride == 1 ? 1 : 0, ActKind::kNone, rng);
+    down->set_name("cx" + std::to_string(stage) + ".down");
+    model.add(std::move(down));
+    in_ch = width;
+    for (Index b = 0; b < depths[stage]; ++b)
+      model.add(convnext_block(width, stage, b, rng));
+  }
+  add_classifier_head(model, in_ch, std::max<Index>(in_ch / 2, 16),
+                      opt.num_classes, rng);
+  return model;
+}
+
+Model make_mobilenet(const ConvNetOptions& opt) {
+  Rng rng(opt.seed + 5);
+  Model model("mobilenet", InputKind::kImage);
+  auto stem =
+      make_conv(opt.input_channels, scaled(32, opt.width_mult), 3, 1, 1,
+                ActKind::kRelu6, rng);
+  stem->set_name("stem");
+  model.add(std::move(stem));
+  Index in_ch = scaled(32, opt.width_mult);
+  // (base width, stride) plan loosely following MobileNetV2 stages.
+  const std::pair<int, Index> plan[] = {{16, 1}, {24, 2}, {32, 1},
+                                        {64, 2}, {96, 1}, {160, 2}};
+  Index idx = 0;
+  for (const auto& [base, stride] : plan) {
+    const Index width = scaled(base, opt.width_mult);
+    // Inverted residual: 1x1 expand (x4, ReLU6) -> 3x3 (ReLU6) ->
+    // 1x1 project (linear). Residual only at stride 1 with equal width.
+    std::vector<std::unique_ptr<Layer>> branch;
+    auto e = make_conv(in_ch, width * 4, 1, 1, 0, ActKind::kRelu6, rng);
+    e->set_name("mb" + std::to_string(idx) + ".expand");
+    auto d = make_conv(width * 4, width * 4, 3, stride, 1, ActKind::kRelu6,
+                       rng);
+    d->set_name("mb" + std::to_string(idx) + ".dw");
+    auto p = make_conv(width * 4, width, 1, 1, 0, ActKind::kNone, rng);
+    p->set_name("mb" + std::to_string(idx) + ".project");
+    branch.push_back(std::move(e));
+    branch.push_back(std::move(d));
+    branch.push_back(std::move(p));
+    if (stride == 1 && in_ch == width) {
+      model.add(std::make_unique<ResBlockLayer>(std::move(branch), nullptr,
+                                                ActKind::kNone));
+    } else {
+      for (auto& l : branch) model.add(std::move(l));
+    }
+    in_ch = width;
+    ++idx;
+  }
+  add_classifier_head(model, in_ch, std::max<Index>(in_ch, 16),
+                      opt.num_classes, rng);
+  return model;
+}
+
+Model make_bert(const TransformerOptions& opt) {
+  Rng rng(opt.seed);
+  Model model("bert", InputKind::kTokens);
+  for (Index l = 0; l < opt.layers; ++l) {
+    auto attn = std::make_unique<AttentionLayer>(opt.dim, opt.heads, rng);
+    attn->set_name("enc" + std::to_string(l) + ".attn");
+    model.add(std::move(attn));
+    auto mlp = std::make_unique<TokenMlpBlockLayer>(
+        opt.dim, opt.dim * opt.mlp_ratio, ActKind::kGelu, rng);
+    mlp->set_name("enc" + std::to_string(l) + ".mlp");
+    model.add(std::move(mlp));
+  }
+  model.add(std::make_unique<TokenNormLayer>());
+  model.add(std::make_unique<TokenMeanPoolLayer>());
+  auto head = make_linear(opt.dim, opt.num_classes, ActKind::kNone, rng);
+  head->set_name("head");
+  head->set_allow_tasd_a(false);  // classifier, not a Fig. 8 TASD target
+  model.add(std::move(head));
+  return model;
+}
+
+Model make_vit(const ConvNetOptions& conv_opt, const TransformerOptions& opt) {
+  Rng rng(opt.seed ^ 0x9E3779B97F4A7C15ULL);
+  Model model("vit", InputKind::kImage);
+  model.set_single_sample_batches(true);
+  // Patchify: non-overlapping patches of 1/8 of the input resolution.
+  const Index patch = std::max<Index>(2, conv_opt.input_hw / 8);
+  auto patchify = make_conv(conv_opt.input_channels, opt.dim, patch, patch, 0,
+                            ActKind::kNone, rng, /*batch_norm=*/false);
+  patchify->set_name("patchify");
+  model.add(std::move(patchify));
+  model.add(std::make_unique<ToTokensLayer>());
+  for (Index l = 0; l < opt.layers; ++l) {
+    auto attn = std::make_unique<AttentionLayer>(opt.dim, opt.heads, rng);
+    attn->set_name("enc" + std::to_string(l) + ".attn");
+    model.add(std::move(attn));
+    auto mlp = std::make_unique<TokenMlpBlockLayer>(
+        opt.dim, opt.dim * opt.mlp_ratio, ActKind::kGelu, rng);
+    mlp->set_name("enc" + std::to_string(l) + ".mlp");
+    model.add(std::move(mlp));
+  }
+  model.add(std::make_unique<TokenNormLayer>());
+  model.add(std::make_unique<TokenMeanPoolLayer>());
+  auto head = make_linear(opt.dim, opt.num_classes, ActKind::kNone, rng);
+  head->set_name("head");
+  head->set_allow_tasd_a(false);  // classifier, not a Fig. 8 TASD target
+  model.add(std::move(head));
+  return model;
+}
+
+}  // namespace tasd::dnn

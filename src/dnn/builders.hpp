@@ -1,0 +1,56 @@
+// Model family builders.
+//
+// These construct the paper's evaluation networks as *scaled-down twins*:
+// the same depth, block structure, width ratios, and activation functions
+// as the originals, but at a reduced input resolution and channel width so
+// the accuracy experiments run in seconds on a CPU (see DESIGN.md,
+// substitution table). The full-scale GEMM shapes used by the accelerator
+// model live in workloads.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "dnn/model.hpp"
+
+namespace tasd::dnn {
+
+/// Options shared by the convolutional families.
+struct ConvNetOptions {
+  Index input_hw = 32;        ///< square input resolution
+  Index input_channels = 3;
+  Index num_classes = 100;
+  double width_mult = 0.25;   ///< channel width multiplier vs the original
+  std::uint64_t seed = 1;
+};
+
+/// Options for the transformer families.
+struct TransformerOptions {
+  Index dim = 128;
+  Index layers = 4;
+  Index heads = 4;
+  Index mlp_ratio = 4;
+  Index num_classes = 100;
+  std::uint64_t seed = 1;
+};
+
+/// ResNet-{18, 34, 50}-like (50 uses bottleneck blocks). ReLU-based.
+Model make_resnet(int depth, const ConvNetOptions& opt);
+
+/// VGG-{11, 16}-like. ReLU-based.
+Model make_vgg(int depth, const ConvNetOptions& opt);
+
+/// ConvNeXt-Tiny-like: GELU conv blocks (dense activations).
+Model make_convnext(const ConvNetOptions& opt);
+
+/// MobileNet-like: inverted-residual-style expand/project blocks with
+/// ReLU6 (the clipped-sparse activation the paper lists alongside ReLU).
+Model make_mobilenet(const ConvNetOptions& opt);
+
+/// BERT-base-like encoder stack on pre-embedded token matrices.
+/// GELU-based (dense activations).
+Model make_bert(const TransformerOptions& opt);
+
+/// ViT-B-16-like: conv patchifier + transformer encoder. GELU-based.
+Model make_vit(const ConvNetOptions& conv_opt, const TransformerOptions& opt);
+
+}  // namespace tasd::dnn

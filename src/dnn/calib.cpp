@@ -1,0 +1,64 @@
+#include "dnn/calib.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tasd::dnn {
+
+std::vector<LayerCalibStats> collect_calibration(Model& model,
+                                                 const EvalSet& calib) {
+  auto layers = model.gemm_layers();
+  // Per-layer density sample lists, indexed like `layers`.
+  std::vector<std::vector<double>> density_samples(layers.size());
+  std::vector<std::vector<double>> pseudo_samples(layers.size());
+
+  auto record = [&] {
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      const auto& s = layers[i]->stats();
+      density_samples[i].push_back(s.raw_input_density);
+      pseudo_samples[i].push_back(s.input_pseudo_density);
+    }
+  };
+
+  if (calib.is_images()) {
+    for (const auto& batch : calib.image_batches()) {
+      (void)model.forward(Feature(batch));
+      record();
+    }
+  } else {
+    for (const auto& seq : calib.sequences()) {
+      (void)model.forward(Feature(seq));
+      record();
+    }
+  }
+
+  std::vector<LayerCalibStats> out;
+  out.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    LayerCalibStats st;
+    st.name = layers[i]->name();
+    st.layer = layers[i];
+    st.samples = density_samples[i].size();
+    TASD_CHECK_MSG(st.samples > 0, "calibration set was empty");
+    double sum = 0.0;
+    for (double d : density_samples[i]) sum += d;
+    st.mean_density = sum / static_cast<double>(st.samples);
+    auto sorted = density_samples[i];
+    std::sort(sorted.begin(), sorted.end());
+    // p99 of density (upper tail — the conservative side for TASD-A).
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                         std::ceil(0.99 * static_cast<double>(sorted.size())) - 1.0));
+    st.p99_density = sorted[idx];
+    double psum = 0.0;
+    for (double d : pseudo_samples[i]) psum += d;
+    st.mean_pseudo_density = psum / static_cast<double>(st.samples);
+    st.act_induces_sparsity = st.mean_density < 0.95;
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace tasd::dnn

@@ -1,0 +1,33 @@
+// Calibration profiling for TASD-A (paper §4.3): run a small calibration
+// set through the model and collect per-layer activation sparsity
+// statistics (mean, p99) plus pseudo-density for dense-activation nets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/metrics.hpp"
+#include "dnn/model.hpp"
+
+namespace tasd::dnn {
+
+/// Per-GEMM-layer activation statistics gathered over calibration runs.
+struct LayerCalibStats {
+  std::string name;
+  GemmLayer* layer = nullptr;
+  Index samples = 0;
+  double mean_density = 1.0;
+  double p99_density = 1.0;  ///< 99th percentile of per-forward densities
+  double mean_pseudo_density = 1.0;
+  bool act_induces_sparsity = false;  ///< input comes from a ReLU-family act
+
+  /// Mean activation sparsity degree (1 - mean density).
+  [[nodiscard]] double mean_sparsity() const { return 1.0 - mean_density; }
+};
+
+/// Run the calibration set through the model (current configuration) and
+/// collect per-layer input-operand statistics.
+std::vector<LayerCalibStats> collect_calibration(Model& model,
+                                                 const EvalSet& calib);
+
+}  // namespace tasd::dnn

@@ -1,0 +1,60 @@
+#include "dnn/feature.hpp"
+
+#include "common/error.hpp"
+#include "core/decompose.hpp"
+
+namespace tasd::dnn {
+
+const Tensor4D& Feature::tensor() const {
+  TASD_CHECK_MSG(is_tensor_, "Feature holds a matrix, not a tensor");
+  return tensor_;
+}
+Tensor4D& Feature::tensor() {
+  TASD_CHECK_MSG(is_tensor_, "Feature holds a matrix, not a tensor");
+  return tensor_;
+}
+const MatrixF& Feature::matrix() const {
+  TASD_CHECK_MSG(!is_tensor_, "Feature holds a tensor, not a matrix");
+  return matrix_;
+}
+MatrixF& Feature::matrix() {
+  TASD_CHECK_MSG(!is_tensor_, "Feature holds a tensor, not a matrix");
+  return matrix_;
+}
+
+Index Feature::size() const {
+  return is_tensor_ ? tensor_.size() : matrix_.size();
+}
+
+double Feature::sparsity() const {
+  return is_tensor_ ? tensor_.sparsity() : matrix_.sparsity();
+}
+
+Tensor4D tasd_channelwise(const Tensor4D& t, const TasdConfig& config) {
+  // Lay channels out contiguously per (n, y, x) position, approximate,
+  // and scatter back.
+  MatrixF rows(t.n() * t.h() * t.w(), t.c());
+  for (Index n = 0; n < t.n(); ++n)
+    for (Index y = 0; y < t.h(); ++y)
+      for (Index x = 0; x < t.w(); ++x) {
+        const Index r = (n * t.h() + y) * t.w() + x;
+        for (Index c = 0; c < t.c(); ++c) rows(r, c) = t(n, c, y, x);
+      }
+  const MatrixF approx = approximate(rows, config);
+  Tensor4D out(t.n(), t.c(), t.h(), t.w());
+  for (Index n = 0; n < t.n(); ++n)
+    for (Index y = 0; y < t.h(); ++y)
+      for (Index x = 0; x < t.w(); ++x) {
+        const Index r = (n * t.h() + y) * t.w() + x;
+        for (Index c = 0; c < t.c(); ++c) out(n, c, y, x) = approx(r, c);
+      }
+  return out;
+}
+
+MatrixF tasd_featurewise(const MatrixF& x, const TasdConfig& config) {
+  // Blocks along features (rows of x) per token (column): approximate the
+  // transpose, whose rows are per-token feature vectors.
+  return approximate(x.transposed(), config).transposed();
+}
+
+}  // namespace tasd::dnn

@@ -1,0 +1,47 @@
+// The activation value that flows between layers: either an NCHW tensor
+// (convolutional nets) or a (features x tokens) matrix (transformers /
+// post-pooling heads).
+#pragma once
+
+#include "core/config.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/tensor4d.hpp"
+
+namespace tasd::dnn {
+
+/// Tagged union of the two activation shapes.
+class Feature {
+ public:
+  Feature() = default;
+  explicit Feature(Tensor4D t) : tensor_(std::move(t)), is_tensor_(true) {}
+  explicit Feature(MatrixF m) : matrix_(std::move(m)), is_tensor_(false) {}
+
+  [[nodiscard]] bool is_tensor() const { return is_tensor_; }
+  [[nodiscard]] const Tensor4D& tensor() const;
+  [[nodiscard]] Tensor4D& tensor();
+  [[nodiscard]] const MatrixF& matrix() const;
+  [[nodiscard]] MatrixF& matrix();
+
+  /// Total element count.
+  [[nodiscard]] Index size() const;
+
+  /// Fraction of zero elements.
+  [[nodiscard]] double sparsity() const;
+
+ private:
+  Tensor4D tensor_;
+  MatrixF matrix_;
+  bool is_tensor_ = false;
+};
+
+/// Apply a TASD series approximation to an activation tensor with blocks
+/// running along the channel dimension at every (batch, y, x) position —
+/// the layout the TTC's TASD units produce for the next layer (paper
+/// Fig. 10). Returns the approximated tensor.
+Tensor4D tasd_channelwise(const Tensor4D& t, const TasdConfig& config);
+
+/// Same for a (features x tokens) matrix: blocks run along the feature
+/// dimension independently for each token (column).
+MatrixF tasd_featurewise(const MatrixF& x, const TasdConfig& config);
+
+}  // namespace tasd::dnn

@@ -1,0 +1,238 @@
+// Layer hierarchy for the DNN substrate.
+//
+// Only CONV and FC layers are TASD targets (paper §4.1); they share the
+// GemmLayer interface that TASDER manipulates: a weight matrix in GEMM
+// form, an optional TASD-W config (static, applied to weights), an
+// optional TASD-A config (dynamic, applied to the input activations —
+// the inserted "TASD layer" of Fig. 7/8), and recorded per-forward
+// statistics that the accelerator model consumes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "dnn/act_fn.hpp"
+#include "dnn/feature.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::dnn {
+
+/// GEMM dimensions of one layer execution: C(MxN) = W(MxK) * X(KxN).
+struct GemmDims {
+  Index m = 0;  ///< output channels / features
+  Index k = 0;  ///< reduction dimension
+  Index n = 0;  ///< spatial positions x batch, or tokens
+};
+
+/// Statistics recorded during the last forward pass of a GEMM layer.
+struct GemmLayerStats {
+  GemmDims dims;
+  double input_density = 1.0;   ///< density of the GEMM X operand (post TASD-A)
+  double raw_input_density = 1.0;  ///< density before TASD-A
+  double input_pseudo_density = 1.0;  ///< pseudo-density (99% magnitude)
+  Index forward_count = 0;
+};
+
+/// Abstract layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Run the layer. Implementations must not retain references into `in`.
+  virtual Feature forward(const Feature& in) = 0;
+
+  /// Append all GEMM (TASD-targetable) layers, in execution order.
+  virtual void collect_gemm_layers(std::vector<class GemmLayer*>& out) {
+    (void)out;
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ protected:
+  Layer() = default;
+
+ private:
+  std::string name_;
+};
+
+/// Common base of Conv2d and Linear: weight in GEMM form + TASD hooks.
+class GemmLayer : public Layer {
+ public:
+  /// The weight in GEMM operand form (M x K).
+  [[nodiscard]] const MatrixF& weight() const { return weight_; }
+
+  /// Replace the weight (e.g. pruning). Invalidate cached TASD-W terms.
+  void set_weight(MatrixF w);
+
+  /// The weight actually multiplied: TASD-W approximation if configured.
+  [[nodiscard]] const MatrixF& effective_weight() const;
+
+  /// Configure (or clear) static weight decomposition (TASD-W).
+  void set_tasd_w(std::optional<TasdConfig> cfg);
+  [[nodiscard]] const std::optional<TasdConfig>& tasd_w() const {
+    return tasd_w_;
+  }
+
+  /// Configure (or clear) dynamic activation decomposition (TASD-A).
+  void set_tasd_a(std::optional<TasdConfig> cfg) { tasd_a_ = std::move(cfg); }
+  [[nodiscard]] const std::optional<TasdConfig>& tasd_a() const {
+    return tasd_a_;
+  }
+
+  /// Whether TASDER may insert a TASD-A layer before this GEMM (QKV /
+  /// attention-out projections are excluded, paper §4.3).
+  [[nodiscard]] bool allow_tasd_a() const { return allow_tasd_a_; }
+  void set_allow_tasd_a(bool v) { allow_tasd_a_ = v; }
+
+  /// Stats from the most recent forward.
+  [[nodiscard]] const GemmLayerStats& stats() const { return stats_; }
+
+  /// Activation function fused after the GEMM.
+  [[nodiscard]] ActKind act() const { return act_; }
+
+  void collect_gemm_layers(std::vector<GemmLayer*>& out) override {
+    out.push_back(this);
+  }
+
+ protected:
+  GemmLayer(MatrixF weight, ActKind act)
+      : weight_(std::move(weight)), act_(act) {}
+
+  /// Record operand stats; called by subclasses inside forward().
+  /// `sample_operand` is used for the pseudo-density estimate (one batch
+  /// item suffices); `operand_density` is the exact batch-wide density.
+  void record_forward(const GemmDims& dims, const MatrixF& sample_operand,
+                      double raw_density, double operand_density);
+
+  MatrixF weight_;
+  ActKind act_;
+
+ private:
+  std::optional<TasdConfig> tasd_w_;
+  std::optional<TasdConfig> tasd_a_;
+  bool allow_tasd_a_ = true;
+  mutable std::optional<MatrixF> effective_weight_cache_;
+  GemmLayerStats stats_;
+};
+
+/// 2-D convolution executed as im2col + GEMM, with optional batch
+/// normalization folded in and a fused activation.
+///
+/// BN semantics match deployment: statistics are *calibrated on the
+/// first forward pass* (per channel, over batch x positions) and frozen
+/// afterwards, exactly like folding trained running statistics into an
+/// inference engine. A frozen normalization is essential for the TASD
+/// experiments — recomputing statistics from decomposed activations
+/// would let every approximation shift the whole network's operating
+/// point.
+class Conv2dLayer final : public GemmLayer {
+ public:
+  /// Weight is (out_channels) x (in_channels*kh*kw).
+  Conv2dLayer(ConvShape shape, MatrixF weight, ActKind act,
+              bool batch_norm = true);
+
+  Feature forward(const Feature& in) override;
+
+  [[nodiscard]] const ConvShape& shape() const { return shape_; }
+
+  /// Drop frozen BN statistics (they re-calibrate on the next forward).
+  void reset_norm_calibration() { bn_frozen_.clear(); }
+
+ private:
+  ConvShape shape_;
+  bool batch_norm_;
+  /// Per-channel (mean, 1/std) frozen at first forward; empty = not yet
+  /// calibrated.
+  std::vector<std::pair<float, float>> bn_frozen_;
+};
+
+/// Fully-connected layer on (features x tokens) matrices: act(W * X).
+class LinearLayer final : public GemmLayer {
+ public:
+  LinearLayer(MatrixF weight, ActKind act, bool layer_norm = false);
+
+  Feature forward(const Feature& in) override;
+
+ private:
+  bool layer_norm_;
+};
+
+/// Elementwise activation as a standalone layer (for post-residual ReLU).
+class ActLayer final : public Layer {
+ public:
+  explicit ActLayer(ActKind kind) : kind_(kind) {}
+  Feature forward(const Feature& in) override;
+
+ private:
+  ActKind kind_;
+};
+
+/// 2x2 max pooling with stride 2 (VGG-style).
+class MaxPool2Layer final : public Layer {
+ public:
+  Feature forward(const Feature& in) override;
+};
+
+/// Global average pooling: (N,C,H,W) tensor -> (C x N) matrix.
+class GlobalAvgPoolLayer final : public Layer {
+ public:
+  Feature forward(const Feature& in) override;
+};
+
+/// (N,C,H,W) tensor -> (C x N*H*W) token matrix (ViT patch flattening;
+/// each spatial position of each batch item becomes a token).
+class ToTokensLayer final : public Layer {
+ public:
+  Feature forward(const Feature& in) override;
+};
+
+/// Residual mixing weights used by every residual connection in the
+/// substrate (ResBlocks, attention, transformer MLPs):
+///   out = act(skip * kResidualSkipScale + branch * kResidualBranchScale).
+///
+/// The weights satisfy skip^2 + branch^2 ~= 1 (variance-preserving) and
+/// are deliberately *skip-dominant*. Random-initialized deep stacks with
+/// balanced mixing are chaotic — a 0.1 % perturbation grows by orders of
+/// magnitude over 50 layers — whereas trained ResNets are perturbation-
+/// stable and skip-dominated. Skip-dominant mixing gives the twin models
+/// the Jacobian gain ~1 that the paper's trained models have, which the
+/// TASD accuracy experiments (Fig. 14/16/20) depend on. See DESIGN.md.
+inline constexpr float kResidualSkipScale = 0.95F;
+inline constexpr float kResidualBranchScale = 0.31F;
+
+/// Residual block: out = relu(branch(x) + project(x)).
+/// `project` is empty for identity skips.
+class ResBlockLayer final : public Layer {
+ public:
+  ResBlockLayer(std::vector<std::unique_ptr<Layer>> branch,
+                std::unique_ptr<Layer> project, ActKind out_act);
+
+  Feature forward(const Feature& in) override;
+  void collect_gemm_layers(std::vector<GemmLayer*>& out) override;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> branch_;
+  std::unique_ptr<Layer> project_;  // may be null (identity skip)
+  ActKind out_act_;
+};
+
+/// Build a He-initialized conv layer.
+std::unique_ptr<Conv2dLayer> make_conv(Index in_ch, Index out_ch, Index kernel,
+                                       Index stride, Index padding,
+                                       ActKind act, Rng& rng,
+                                       bool batch_norm = true);
+
+/// Build a He-initialized linear layer.
+std::unique_ptr<LinearLayer> make_linear(Index in_features, Index out_features,
+                                         ActKind act, Rng& rng,
+                                         bool layer_norm = false);
+
+}  // namespace tasd::dnn

@@ -1,0 +1,157 @@
+#include "dnn/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::dnn {
+
+EvalSet EvalSet::images(Index count, Index hw, Index channels,
+                        std::uint64_t seed) {
+  EvalSet s;
+  s.is_images_ = true;
+  Rng rng(seed);
+  Index remaining = count;
+  while (remaining > 0) {
+    const Index n = std::min(kImageBatch, remaining);
+    s.image_batches_.push_back(
+        random_tensor(n, channels, hw, hw, 1.0, Dist::kNormalStd1, rng));
+    remaining -= n;
+  }
+  return s;
+}
+
+EvalSet EvalSet::tokens(Index count, Index dim, Index tokens,
+                        std::uint64_t seed) {
+  EvalSet s;
+  s.is_images_ = false;
+  Rng rng(seed);
+  for (Index i = 0; i < count; ++i)
+    s.sequences_.push_back(random_dense(dim, tokens, Dist::kNormalStd1, rng));
+  return s;
+}
+
+Index EvalSet::count() const {
+  if (!is_images_) return sequences_.size();
+  Index total = 0;
+  for (const auto& b : image_batches_) total += b.n();
+  return total;
+}
+
+namespace {
+
+/// Argmax over each column of a (classes x samples) logits matrix,
+/// ties toward the lower class index. When `margins` is non-null, the
+/// top-1/top-2 logit gap of each column is appended to it.
+void argmax_cols(const MatrixF& logits, std::vector<Index>& out,
+                 std::vector<float>* margins = nullptr) {
+  for (Index c = 0; c < logits.cols(); ++c) {
+    Index best = 0;
+    float best_v = logits(0, c);
+    float second_v = -std::numeric_limits<float>::infinity();
+    for (Index r = 1; r < logits.rows(); ++r) {
+      const float v = logits(r, c);
+      if (v > best_v) {
+        second_v = best_v;
+        best_v = v;
+        best = r;
+      } else if (v > second_v) {
+        second_v = v;
+      }
+    }
+    out.push_back(best);
+    if (margins) {
+      margins->push_back(logits.rows() > 1 ? best_v - second_v
+                                           : best_v);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared forward loop for predict()/confident_labels().
+std::vector<Index> predict_impl(Model& model, const EvalSet& eval,
+                                std::vector<float>* margins) {
+  std::vector<Index> labels;
+  labels.reserve(eval.count());
+  if (eval.is_images()) {
+    TASD_CHECK_MSG(model.input_kind() == InputKind::kImage,
+                   "image eval set on a token model");
+    for (const auto& batch : eval.image_batches()) {
+      if (model.single_sample_batches()) {
+        // ViT-style models fold batch into tokens: feed one sample at a
+        // time.
+        for (Index i = 0; i < batch.n(); ++i) {
+          Tensor4D one(1, batch.c(), batch.h(), batch.w());
+          for (Index c = 0; c < batch.c(); ++c)
+            for (Index y = 0; y < batch.h(); ++y)
+              for (Index x = 0; x < batch.w(); ++x)
+                one(0, c, y, x) = batch(i, c, y, x);
+          const MatrixF logits = model.forward(Feature(std::move(one))).matrix();
+          argmax_cols(logits, labels, margins);
+        }
+      } else {
+        const MatrixF logits = model.forward(Feature(batch)).matrix();
+        argmax_cols(logits, labels, margins);
+      }
+    }
+  } else {
+    TASD_CHECK_MSG(model.input_kind() == InputKind::kTokens,
+                   "token eval set on an image model");
+    for (const auto& seq : eval.sequences()) {
+      const MatrixF logits = model.forward(Feature(seq)).matrix();
+      argmax_cols(logits, labels, margins);
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<Index> predict(Model& model, const EvalSet& eval) {
+  return predict_impl(model, eval, nullptr);
+}
+
+std::vector<Index> confident_labels(Model& model, const EvalSet& eval,
+                                    double keep_fraction) {
+  TASD_CHECK_MSG(keep_fraction > 0.0 && keep_fraction <= 1.0,
+                 "keep_fraction " << keep_fraction << " out of (0,1]");
+  std::vector<float> margins;
+  std::vector<Index> labels = predict_impl(model, eval, &margins);
+  if (keep_fraction >= 1.0 || labels.empty()) return labels;
+  std::vector<float> sorted = margins;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(keep_fraction * static_cast<double>(sorted.size()))));
+  const float threshold = sorted[keep - 1];
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (margins[i] < threshold) labels[i] = kIgnoreLabel;
+  return labels;
+}
+
+double agreement(const std::vector<Index>& reference,
+                 const std::vector<Index>& predictions) {
+  TASD_CHECK_MSG(reference.size() == predictions.size(),
+                 "label vectors differ in length");
+  Index hits = 0;
+  Index counted = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] == kIgnoreLabel) continue;
+    ++counted;
+    if (reference[i] == predictions[i]) ++hits;
+  }
+  if (counted == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(counted);
+}
+
+double top1_agreement(Model& model, const EvalSet& eval,
+                      const std::vector<Index>& reference) {
+  return agreement(reference, predict(model, eval));
+}
+
+}  // namespace tasd::dnn

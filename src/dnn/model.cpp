@@ -1,0 +1,44 @@
+#include "dnn/model.hpp"
+
+#include "common/error.hpp"
+
+namespace tasd::dnn {
+
+Feature Model::forward(const Feature& input) {
+  TASD_CHECK_MSG(!layers_.empty(), "model '" << name_ << "' has no layers");
+  Feature x = layers_.front()->forward(input);
+  for (std::size_t i = 1; i < layers_.size(); ++i) x = layers_[i]->forward(x);
+  return x;
+}
+
+std::vector<GemmLayer*> Model::gemm_layers() {
+  std::vector<GemmLayer*> out;
+  for (auto& l : layers_) l->collect_gemm_layers(out);
+  return out;
+}
+
+void Model::clear_tasd() {
+  for (auto* l : gemm_layers()) {
+    l->set_tasd_w(std::nullopt);
+    l->set_tasd_a(std::nullopt);
+  }
+}
+
+Index Model::parameter_count() {
+  Index total = 0;
+  for (auto* l : gemm_layers()) total += l->weight().size();
+  return total;
+}
+
+double Model::weight_sparsity() {
+  Index total = 0;
+  Index nnz = 0;
+  for (auto* l : gemm_layers()) {
+    total += l->weight().size();
+    nnz += l->weight().nnz();
+  }
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+}  // namespace tasd::dnn

@@ -1,0 +1,63 @@
+// Model: an owning sequence of layers plus the TASD bookkeeping TASDER
+// operates on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/layers.hpp"
+
+namespace tasd::dnn {
+
+/// How activations enter the model.
+enum class InputKind { kImage, kTokens };
+
+/// A DNN model: layers executed in sequence, with composite layers
+/// (residual / attention blocks) nesting internally.
+class Model {
+ public:
+  Model(std::string name, InputKind input_kind)
+      : name_(std::move(name)), input_kind_(input_kind) {}
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  /// Run the model end to end.
+  Feature forward(const Feature& input);
+
+  /// All TASD-targetable GEMM layers in execution order.
+  [[nodiscard]] std::vector<GemmLayer*> gemm_layers();
+
+  /// Clear every TASD-W / TASD-A config (restore the original model).
+  void clear_tasd();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] InputKind input_kind() const { return input_kind_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+
+  /// Models that fold the batch dimension into tokens (ViT) must be fed
+  /// one sample at a time; predict() honours this flag.
+  [[nodiscard]] bool single_sample_batches() const {
+    return single_sample_batches_;
+  }
+  void set_single_sample_batches(bool v) { single_sample_batches_ = v; }
+
+  /// Total parameters across GEMM layers.
+  [[nodiscard]] Index parameter_count();
+
+  /// Global weight sparsity across GEMM layers.
+  [[nodiscard]] double weight_sparsity();
+
+ private:
+  std::string name_;
+  InputKind input_kind_;
+  bool single_sample_batches_ = false;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace tasd::dnn

@@ -1,0 +1,72 @@
+#include "dnn/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/view.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::dnn {
+
+double layer_sparsity_target(double global_sparsity, double position,
+                             bool is_last) {
+  // Ramp from ~70 % of the global target at the first layer up to
+  // slightly above it by a quarter of the depth, with a small
+  // deterministic ripple; classifier pruned at ~85 % of global.
+  double target;
+  if (is_last) {
+    target = global_sparsity * 0.85;
+  } else {
+    const double ramp = std::min(1.0, 0.70 + 1.4 * position);
+    const double ripple = 0.015 * std::sin(position * 37.0);
+    target = global_sparsity * ramp + ripple;
+  }
+  return std::clamp(target, 0.0, 0.99);
+}
+
+double prune_unstructured(Model& model, double global_sparsity) {
+  auto layers = model.gemm_layers();
+  const auto count = layers.size();
+  Index total = 0;
+  Index zeros = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double pos =
+        count > 1 ? static_cast<double>(i) / static_cast<double>(count - 1)
+                  : 0.0;
+    const double target =
+        layer_sparsity_target(global_sparsity, pos, i + 1 == count);
+    MatrixF pruned = magnitude_prune(layers[i]->weight(), target);
+    total += pruned.size();
+    zeros += pruned.size() - pruned.nnz();
+    layers[i]->set_weight(std::move(pruned));
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+double prune_structured(Model& model, const sparse::NMPattern& pattern) {
+  Index total = 0;
+  Index zeros = 0;
+  for (auto* layer : model.gemm_layers()) {
+    MatrixF pruned = sparse::nm_view(layer->weight(), pattern);
+    total += pruned.size();
+    zeros += pruned.size() - pruned.nnz();
+    layer->set_weight(std::move(pruned));
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(zeros) / static_cast<double>(total);
+}
+
+std::vector<LayerSparsityRow> sparsity_report(Model& model) {
+  std::vector<LayerSparsityRow> rows;
+  for (auto* layer : model.gemm_layers()) {
+    LayerSparsityRow r;
+    r.name = layer->name();
+    r.weight_sparsity = layer->weight().sparsity();
+    r.act_sparsity = 1.0 - layer->stats().raw_input_density;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+}  // namespace tasd::dnn

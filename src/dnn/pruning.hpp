@@ -1,0 +1,42 @@
+// Model pruning: unstructured (magnitude) pruning with a per-layer
+// sparsity profile shaped like the paper's Fig. 6, and structured (N:M
+// view) pruning for the Fig. 19 ablation's "HW-aware fine-tuned" models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/model.hpp"
+#include "sparse/pattern.hpp"
+
+namespace tasd::dnn {
+
+/// Per-layer sparsity target for unstructured pruning.
+///
+/// Mirrors the SparseZoo 95 %-sparse ResNet-50 shape (paper Fig. 6):
+/// early layers are pruned less (they are small and accuracy-critical),
+/// the bulk of mid/late layers sit slightly above the global target, and
+/// the final classifier is pruned less. `position` in [0,1] is the layer's
+/// normalized depth; `is_last` marks the classifier.
+double layer_sparsity_target(double global_sparsity, double position,
+                             bool is_last);
+
+/// Magnitude-prune every GEMM layer of `model` to the Fig. 6-shaped
+/// profile around `global_sparsity`. Returns the achieved global weight
+/// sparsity (parameter-weighted).
+double prune_unstructured(Model& model, double global_sparsity);
+
+/// Prune every GEMM layer to the given N:M pattern (keep the N largest
+/// per block). This models a structured-pruned ("HW-aware fine-tuned")
+/// model. Returns the achieved global weight sparsity.
+double prune_structured(Model& model, const sparse::NMPattern& pattern);
+
+/// Per-layer sparsity report (Fig. 6 rows).
+struct LayerSparsityRow {
+  std::string name;
+  double weight_sparsity = 0.0;
+  double act_sparsity = 0.0;  ///< from the layer's last recorded forward
+};
+std::vector<LayerSparsityRow> sparsity_report(Model& model);
+
+}  // namespace tasd::dnn

@@ -1,0 +1,20 @@
+// Timed dense GEMM kernel — the "dense tensor core / dense TensorRT
+// engine" stand-in for the real-system experiment (paper §5.5).
+//
+// Unlike tensor::gemm_ref (which honestly skips zero A elements as a
+// correctness oracle), this kernel performs *every* MAC, exactly like
+// dense hardware: the speed-up of the N:M kernel over this one comes only
+// from structured compression, which is the effect the paper measures.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace tasd::rt {
+
+/// C = A * B with no zero-skipping; A is MxK, B is KxN.
+MatrixF dense_gemm(const MatrixF& a, const MatrixF& b);
+
+/// C += A * B into a preallocated accumulator.
+void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+}  // namespace tasd::rt

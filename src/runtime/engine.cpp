@@ -1,0 +1,103 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+
+namespace {
+
+double time_ms_min(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<LayerTiming> measure_workload(
+    const dnn::NetworkWorkload& net,
+    const std::vector<std::optional<TasdConfig>>& configs,
+    const EngineOptions& opt) {
+  TASD_CHECK_MSG(configs.size() == net.layers.size(),
+                 "config list must align with workload layers");
+  Rng rng(opt.data_seed);
+  std::vector<LayerTiming> out;
+  out.reserve(net.layers.size());
+
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const auto& layer = net.layers[i];
+    LayerTiming t;
+    t.name = layer.name;
+    t.m = layer.m;
+    t.k = layer.k;
+    t.n = std::max<Index>(1, layer.n / opt.n_divisor);
+    t.config = configs[i];
+
+    const MatrixF w = dnn::materialize_weight(layer);
+    const MatrixF b = random_dense(t.k, t.n, Dist::kNormalStd1, rng);
+
+    volatile float sink = 0.0F;  // defeat dead-code elimination
+    t.dense_ms = time_ms_min(opt.repeats, [&] {
+      const MatrixF c = dense_gemm(w, b);
+      sink = sink + c(0, 0);
+    });
+
+    if (t.config) {
+      const Decomposition d = decompose(w, *t.config);
+      const TasdSeriesGemm series(d);
+      t.kept_nnz_fraction =
+          static_cast<double>(series.nnz()) / static_cast<double>(w.size());
+      t.tasd_ms = time_ms_min(opt.repeats, [&] {
+        const MatrixF c = series.multiply(b);
+        sink = sink + c(0, 0);
+      });
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+double network_latency_ms(const std::vector<LayerTiming>& timings,
+                          const std::vector<std::size_t>& order,
+                          std::size_t num_converted) {
+  TASD_CHECK_MSG(num_converted <= order.size(),
+                 "num_converted exceeds layer count");
+  std::vector<bool> converted(timings.size(), false);
+  for (std::size_t i = 0; i < num_converted; ++i) converted[order[i]] = true;
+  double total = 0.0;
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const auto& t = timings[i];
+    const bool use_tasd = converted[i] && t.config;
+    total += use_tasd ? t.tasd_ms : t.dense_ms;
+  }
+  return total;
+}
+
+std::vector<std::size_t> conversion_order(
+    const std::vector<LayerTiming>& timings) {
+  std::vector<std::size_t> order(timings.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double save_a =
+        timings[a].config ? timings[a].dense_ms - timings[a].tasd_ms : -1.0;
+    const double save_b =
+        timings[b].config ? timings[b].dense_ms - timings[b].tasd_ms : -1.0;
+    if (save_a != save_b) return save_a > save_b;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace tasd::rt

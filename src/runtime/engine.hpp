@@ -1,0 +1,67 @@
+// Wall-clock execution engine for full-scale GEMM workloads — the
+// repository's stand-in for the paper's TensorRT-on-RTX3080 real-system
+// experiment (§5.5, Fig. 16). See DESIGN.md's substitution table.
+//
+// For each layer the engine measures the dense kernel and (when a TASD
+// series is chosen) the compressed structured kernel, then composes
+// network latency from per-layer timings exactly the way a layer-serial
+// inference runtime does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dnn/workloads.hpp"
+#include "runtime/nm_gemm.hpp"
+
+namespace tasd::rt {
+
+/// Measured timings of one layer.
+struct LayerTiming {
+  std::string name;
+  Index m = 0, k = 0, n = 0;
+  double dense_ms = 0.0;
+  double tasd_ms = 0.0;              ///< 0 when no series configured
+  std::optional<TasdConfig> config;
+  double kept_nnz_fraction = 0.0;    ///< stored values / total positions
+
+  /// Best available time for this layer.
+  [[nodiscard]] double best_ms() const {
+    return config ? tasd_ms : dense_ms;
+  }
+};
+
+/// Engine options.
+struct EngineOptions {
+  /// Shrink every layer's N (positions) by this factor so per-layer
+  /// measurements finish quickly; speed-up ratios are unaffected because
+  /// both kernels scale linearly in N.
+  Index n_divisor = 4;
+  /// Timing repetitions; the minimum is reported.
+  int repeats = 3;
+  std::uint64_t data_seed = 99;
+};
+
+/// Measure every layer of a workload under the given per-layer configs
+/// (entries align with net.layers; nullopt = dense).
+std::vector<LayerTiming> measure_workload(
+    const dnn::NetworkWorkload& net,
+    const std::vector<std::optional<TasdConfig>>& configs,
+    const EngineOptions& opt = {});
+
+/// Network latency if only the `converted` lowest-cost-benefit... —
+/// compose total latency with the first `num_converted` layers (by the
+/// given order) using their TASD timing and the rest dense. `order` holds
+/// indices into `timings`.
+double network_latency_ms(const std::vector<LayerTiming>& timings,
+                          const std::vector<std::size_t>& order,
+                          std::size_t num_converted);
+
+/// Order layers by descending absolute time saved (dense_ms - tasd_ms):
+/// the order in which a deployment engineer would convert layers.
+std::vector<std::size_t> conversion_order(
+    const std::vector<LayerTiming>& timings);
+
+}  // namespace tasd::rt

@@ -1,0 +1,58 @@
+#include "runtime/nm_gemm.hpp"
+
+#include "common/error.hpp"
+
+namespace tasd::rt {
+
+MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.cols());
+  nm_gemm_accumulate(a, b, c);
+  return c;
+}
+
+void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                        MatrixF& c) {
+  TASD_CHECK_MSG(a.cols() == b.rows(), "N:M GEMM inner dim mismatch");
+  TASD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const Index n = b.cols();
+  const auto m = static_cast<Index>(a.pattern().m);
+  const auto& values = a.values();
+  const auto& idx = a.in_block_index();
+  const auto& offsets = a.block_offsets();
+  const Index blocks_per_row = a.blocks_per_row();
+
+  Index group = 0;
+  for (Index r = 0; r < a.rows(); ++r) {
+    float* __restrict crow = c.data() + r * n;
+    for (Index blk = 0; blk < blocks_per_row; ++blk, ++group) {
+      const Index k_base = blk * m;
+      for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
+        const float av = values[s];
+        const float* __restrict brow = b.data() + (k_base + idx[s]) * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+TasdSeriesGemm::TasdSeriesGemm(const Decomposition& decomposition)
+    : rows_(decomposition.residual.rows()),
+      cols_(decomposition.residual.cols()) {
+  terms_.reserve(decomposition.terms.size());
+  for (const auto& t : decomposition.terms) terms_.push_back(t.compressed());
+}
+
+MatrixF TasdSeriesGemm::multiply(const MatrixF& b) const {
+  TASD_CHECK_MSG(cols_ == b.rows(), "TASD series GEMM inner dim mismatch");
+  MatrixF c(rows_, b.cols());
+  for (const auto& t : terms_) nm_gemm_accumulate(t, b, c);
+  return c;
+}
+
+Index TasdSeriesGemm::nnz() const {
+  Index total = 0;
+  for (const auto& t : terms_) total += t.nnz();
+  return total;
+}
+
+}  // namespace tasd::rt

@@ -1,0 +1,43 @@
+// Structured sparse GEMM over compressed N:M operands — the CPU analogue
+// of a sparse tensor core: it executes one MAC per *stored* value, so a
+// 2:4-compressed operand does half the work of the dense kernel through
+// the same inner loop.
+#pragma once
+
+#include "core/decompose.hpp"
+#include "sparse/nm_matrix.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::rt {
+
+/// C = A_compressed * B.
+MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b);
+
+/// C += A_compressed * B.
+void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                        MatrixF& c);
+
+/// C = Σ_i term_i * B over a whole TASD series (distributive execution of
+/// the decomposed GEMM, paper §3.2). Terms are pre-compressed once.
+class TasdSeriesGemm {
+ public:
+  /// Compress the decomposition's terms for repeated execution.
+  explicit TasdSeriesGemm(const Decomposition& decomposition);
+
+  /// Execute against a dense right-hand side.
+  [[nodiscard]] MatrixF multiply(const MatrixF& b) const;
+
+  /// Stored non-zeros across terms.
+  [[nodiscard]] Index nnz() const;
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] std::size_t term_count() const { return terms_.size(); }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<sparse::NMSparseMatrix> terms_;
+};
+
+}  // namespace tasd::rt

@@ -1,0 +1,67 @@
+#include "sparse/csr.hpp"
+
+#include "common/error.hpp"
+
+namespace tasd::sparse {
+
+CSRMatrix::CSRMatrix(const MatrixF& dense)
+    : rows_(dense.rows()), cols_(dense.cols()) {
+  row_ptr_.reserve(rows_ + 1);
+  row_ptr_.push_back(0);
+  for (Index r = 0; r < rows_; ++r) {
+    auto row = dense.row(r);
+    for (Index c = 0; c < cols_; ++c) {
+      if (row[c] != 0.0F) {
+        values_.push_back(row[c]);
+        col_index_.push_back(c);
+      }
+    }
+    row_ptr_.push_back(values_.size());
+  }
+}
+
+double CSRMatrix::sparsity() const {
+  const Index total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+MatrixF CSRMatrix::to_dense() const {
+  MatrixF out(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r)
+    for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      out(r, col_index_[i]) = values_[i];
+  return out;
+}
+
+std::vector<float> CSRMatrix::spmv(std::span<const float> x) const {
+  TASD_CHECK_MSG(x.size() == cols_,
+                 "spmv vector size " << x.size() << " != cols " << cols_);
+  std::vector<float> y(rows_, 0.0F);
+  for (Index r = 0; r < rows_; ++r) {
+    float acc = 0.0F;
+    for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      acc += values_[i] * x[col_index_[i]];
+    y[r] = acc;
+  }
+  return y;
+}
+
+MatrixF CSRMatrix::spmm(const MatrixF& b) const {
+  TASD_CHECK_MSG(cols_ == b.rows(), "spmm inner dim mismatch: " << cols_
+                                                                << " vs "
+                                                                << b.rows());
+  MatrixF c(rows_, b.cols());
+  const Index n = b.cols();
+  for (Index r = 0; r < rows_; ++r) {
+    float* crow = c.data() + r * n;
+    for (Index i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const float v = values_[i];
+      const float* brow = b.data() + col_index_[i] * n;
+      for (Index j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace tasd::sparse

@@ -1,0 +1,52 @@
+// Compressed Sparse Row format, used as the unstructured-sparsity
+// reference format (what an unstructured accelerator like DSTC consumes).
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tasd::sparse {
+
+/// Immutable CSR matrix.
+class CSRMatrix {
+ public:
+  CSRMatrix() = default;
+
+  /// Compress a dense matrix (zeros dropped).
+  explicit CSRMatrix(const MatrixF& dense);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index nnz() const { return values_.size(); }
+  [[nodiscard]] double sparsity() const;
+
+  /// Decompress to dense (exact).
+  [[nodiscard]] MatrixF to_dense() const;
+
+  /// y = this * x for a dense vector x (sized cols()).
+  [[nodiscard]] std::vector<float> spmv(std::span<const float> x) const;
+
+  /// C = this * B for a dense matrix B.
+  [[nodiscard]] MatrixF spmm(const MatrixF& b) const;
+
+  /// Storage bytes: 4B value + 4B column index per nnz + 8B per row ptr.
+  [[nodiscard]] Index storage_bytes() const {
+    return nnz() * 8 + (rows_ + 1) * 8;
+  }
+
+  [[nodiscard]] const std::vector<float>& values() const { return values_; }
+  [[nodiscard]] const std::vector<Index>& col_index() const {
+    return col_index_;
+  }
+  [[nodiscard]] const std::vector<Index>& row_ptr() const { return row_ptr_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<float> values_;
+  std::vector<Index> col_index_;
+  std::vector<Index> row_ptr_;  // rows_+1 entries
+};
+
+}  // namespace tasd::sparse

@@ -1,0 +1,68 @@
+#include "sparse/nm_matrix.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tasd::sparse {
+
+NMSparseMatrix::NMSparseMatrix(const MatrixF& dense, NMPattern pattern)
+    : pattern_(pattern), rows_(dense.rows()), cols_(dense.cols()) {
+  TASD_CHECK_MSG(satisfies(dense, pattern),
+                 "matrix does not satisfy " << pattern.str()
+                                            << "; project it to a view first");
+  TASD_CHECK_MSG(pattern.m <= 256, "in-block index stored as u8; M <= 256");
+  const auto m = static_cast<Index>(pattern.m);
+  blocks_per_row_ = (cols_ + m - 1) / m;
+  block_offsets_.reserve(rows_ * blocks_per_row_ + 1);
+  block_offsets_.push_back(0);
+  for (Index r = 0; r < rows_; ++r) {
+    auto row = dense.row(r);
+    for (Index b = 0; b < cols_; b += m) {
+      const Index end = std::min(cols_, b + m);
+      for (Index i = b; i < end; ++i) {
+        if (row[i] != 0.0F) {
+          values_.push_back(row[i]);
+          in_block_index_.push_back(static_cast<std::uint8_t>(i - b));
+        }
+      }
+      block_offsets_.push_back(values_.size());
+    }
+  }
+}
+
+double NMSparseMatrix::sparsity() const {
+  const Index total = rows_ * cols_;
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+MatrixF NMSparseMatrix::to_dense() const {
+  MatrixF out(rows_, cols_);
+  const auto m = static_cast<Index>(pattern_.m);
+  Index group = 0;
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index b = 0; b < blocks_per_row_; ++b, ++group) {
+      const Index base = b * m;
+      for (Index i = block_offsets_[group]; i < block_offsets_[group + 1];
+           ++i) {
+        out(r, base + in_block_index_[i]) = values_[i];
+      }
+    }
+  }
+  return out;
+}
+
+Index NMSparseMatrix::storage_bytes() const {
+  // Hardware-style: every block reserves N value slots (4B each) and
+  // N * ceil(log2(M)) metadata bits, independent of actual occupancy.
+  const Index blocks = rows_ * blocks_per_row_;
+  const auto index_bits = static_cast<Index>(
+      std::bit_width(static_cast<unsigned>(pattern_.m - 1)));
+  const Index value_bytes = blocks * static_cast<Index>(pattern_.n) * 4;
+  const Index meta_bits = blocks * static_cast<Index>(pattern_.n) * index_bits;
+  return value_bytes + (meta_bits + 7) / 8;
+}
+
+}  // namespace tasd::sparse

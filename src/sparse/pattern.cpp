@@ -1,0 +1,67 @@
+#include "sparse/pattern.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace tasd::sparse {
+
+NMPattern::NMPattern(int n_, int m_) : n(n_), m(m_) {
+  TASD_CHECK_MSG(m > 0, "N:M pattern needs M > 0, got M=" << m);
+  TASD_CHECK_MSG(n >= 0 && n <= m,
+                 "N:M pattern needs 0 <= N <= M, got " << n << ":" << m);
+}
+
+NMPattern NMPattern::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  TASD_CHECK_MSG(colon != std::string::npos,
+                 "pattern '" << text << "' is not of the form N:M");
+  int n = 0;
+  int m = 0;
+  const char* begin = text.data();
+  auto r1 = std::from_chars(begin, begin + colon, n);
+  auto r2 =
+      std::from_chars(begin + colon + 1, begin + text.size(), m);
+  TASD_CHECK_MSG(r1.ec == std::errc() && r1.ptr == begin + colon &&
+                     r2.ec == std::errc() && r2.ptr == begin + text.size(),
+                 "pattern '" << text << "' is not of the form N:M");
+  return {n, m};
+}
+
+std::string NMPattern::str() const {
+  return std::to_string(n) + ":" + std::to_string(m);
+}
+
+namespace {
+
+/// Visit each M-aligned block of each row, calling f(nnz_in_block).
+template <typename F>
+void for_each_block_nnz(const MatrixF& matrix, int m, F&& f) {
+  const Index cols = matrix.cols();
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    for (Index b = 0; b < cols; b += static_cast<Index>(m)) {
+      const Index end = std::min(cols, b + static_cast<Index>(m));
+      int nnz = 0;
+      for (Index i = b; i < end; ++i)
+        if (row[i] != 0.0F) ++nnz;
+      f(nnz);
+    }
+  }
+}
+
+}  // namespace
+
+bool satisfies(const MatrixF& matrix, const NMPattern& pattern) {
+  return count_violating_blocks(matrix, pattern) == 0;
+}
+
+Index count_violating_blocks(const MatrixF& matrix, const NMPattern& pattern) {
+  Index violations = 0;
+  for_each_block_nnz(matrix, pattern.m, [&](int nnz) {
+    if (nnz > pattern.n) ++violations;
+  });
+  return violations;
+}
+
+}  // namespace tasd::sparse

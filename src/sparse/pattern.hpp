@@ -1,0 +1,51 @@
+// N:M structured sparsity pattern descriptor.
+//
+// An N:M pattern constrains each M-aligned block of consecutive elements
+// (along the row dimension) to at most N non-zeros (paper §2.1, Fig. 2).
+#pragma once
+
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace tasd::sparse {
+
+/// Fine-grained N:M structured sparsity pattern (e.g. 2:4).
+struct NMPattern {
+  int n = 0;  ///< max non-zeros per block
+  int m = 1;  ///< block size
+
+  NMPattern() = default;
+  NMPattern(int n_, int m_);
+
+  /// Parse "N:M" (e.g. "2:4"). Throws tasd::Error on malformed input.
+  static NMPattern parse(const std::string& text);
+
+  /// "N:M" rendering.
+  [[nodiscard]] std::string str() const;
+
+  /// Fraction of elements that may be non-zero (N/M).
+  [[nodiscard]] double density() const {
+    return static_cast<double>(n) / static_cast<double>(m);
+  }
+
+  /// Sparsity degree enforced by the pattern (1 - N/M); the paper calls
+  /// this the pattern's "approximated sparsity".
+  [[nodiscard]] double approximated_sparsity() const { return 1.0 - density(); }
+
+  /// True when the pattern imposes no constraint (N == M, i.e. dense).
+  [[nodiscard]] bool is_dense() const { return n == m; }
+
+  friend auto operator<=>(const NMPattern&, const NMPattern&) = default;
+};
+
+/// Does `m` satisfy the pattern? Blocks are M-aligned within each row; a
+/// ragged final block (cols % M != 0) is checked against the same N limit.
+bool satisfies(const MatrixF& matrix, const NMPattern& pattern);
+
+/// Number of violating blocks (0 means satisfies()).
+Index count_violating_blocks(const MatrixF& matrix, const NMPattern& pattern);
+
+}  // namespace tasd::sparse

@@ -1,0 +1,68 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/view.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd::sparse {
+
+std::vector<Index> block_nnz_histogram(const MatrixF& matrix, int m) {
+  TASD_CHECK_MSG(m > 0, "block size must be positive");
+  std::vector<Index> hist(static_cast<Index>(m) + 1, 0);
+  const auto mm = static_cast<Index>(m);
+  for (Index r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    for (Index b = 0; b < matrix.cols(); b += mm) {
+      const Index end = std::min(matrix.cols(), b + mm);
+      Index nnz = 0;
+      for (Index i = b; i < end; ++i)
+        if (row[i] != 0.0F) ++nnz;
+      ++hist[nnz];
+    }
+  }
+  return hist;
+}
+
+double view_nnz_coverage(const MatrixF& matrix, const NMPattern& pattern) {
+  const Index total = matrix.nnz();
+  if (total == 0) return 1.0;
+  const MatrixF v = nm_view(matrix, pattern);
+  return static_cast<double>(v.nnz()) / static_cast<double>(total);
+}
+
+double view_magnitude_coverage(const MatrixF& matrix,
+                               const NMPattern& pattern) {
+  const double total = magnitude_sum(matrix);
+  if (total == 0.0) return 1.0;
+  const MatrixF v = nm_view(matrix, pattern);
+  return magnitude_sum(v) / total;
+}
+
+double density(const MatrixF& matrix) { return 1.0 - matrix.sparsity(); }
+
+double pseudo_density(const MatrixF& matrix, double coverage) {
+  TASD_CHECK_MSG(coverage > 0.0 && coverage <= 1.0,
+                 "coverage " << coverage << " out of (0,1]");
+  if (matrix.empty()) return 0.0;
+  std::vector<float> mags;
+  mags.reserve(matrix.size());
+  for (float v : matrix.flat()) mags.push_back(std::fabs(v));
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+  double total = 0.0;
+  for (float v : mags) total += v;
+  if (total == 0.0) return 0.0;
+  const double target = coverage * total;
+  double acc = 0.0;
+  Index needed = 0;
+  for (float v : mags) {
+    acc += v;
+    ++needed;
+    if (acc >= target) break;
+  }
+  return static_cast<double>(needed) / static_cast<double>(mags.size());
+}
+
+}  // namespace tasd::sparse

@@ -1,0 +1,34 @@
+// Sparsity statistics: degree, per-block histograms, magnitude coverage.
+// These drive both TASDER's selection heuristics and the Fig. 6 / Fig. 17
+// experiments.
+#pragma once
+
+#include <vector>
+
+#include "sparse/pattern.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::sparse {
+
+/// Histogram of per-block non-zero counts for block size M: result[k] =
+/// number of blocks with exactly k non-zeros (k in 0..M).
+std::vector<Index> block_nnz_histogram(const MatrixF& matrix, int m);
+
+/// Fraction of non-zeros that an N:M view of `matrix` would keep.
+double view_nnz_coverage(const MatrixF& matrix, const NMPattern& pattern);
+
+/// Fraction of total |magnitude| that an N:M view of `matrix` would keep.
+double view_magnitude_coverage(const MatrixF& matrix,
+                               const NMPattern& pattern);
+
+/// Density (1 - sparsity) of a matrix.
+double density(const MatrixF& matrix);
+
+/// Pseudo-density (paper §4.3): the smallest fraction q of elements
+/// (taken in decreasing |magnitude| order) whose magnitude sum reaches
+/// `coverage` (e.g. 0.99) of the total magnitude sum. Dense-but-skewed
+/// tensors (GELU activations) get a small pseudo-density even though their
+/// literal density is 1.0. Returns 0 for an all-zero matrix.
+double pseudo_density(const MatrixF& matrix, double coverage);
+
+}  // namespace tasd::sparse

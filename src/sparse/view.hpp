@@ -1,0 +1,26 @@
+// N:M views (paper Fig. 2): the lossy projection of an arbitrary matrix
+// onto an N:M pattern by keeping the N largest-magnitude elements per
+// block. This single primitive is the building block of TASD terms.
+#pragma once
+
+#include "sparse/pattern.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::sparse {
+
+/// Keep the `pattern.n` largest-|value| elements of every M-aligned block
+/// of each row, zeroing the rest. Ties are broken toward the lower column
+/// index (deterministic). The result always satisfies `pattern`.
+MatrixF nm_view(const MatrixF& matrix, const NMPattern& pattern);
+
+/// Split `matrix` into (view, residual) where view = nm_view(matrix,
+/// pattern) and residual = matrix - view computed by element *moves* (no
+/// arithmetic): every element lands in exactly one of the two outputs, so
+/// view + residual == matrix holds exactly in floating point.
+struct ViewSplit {
+  MatrixF view;
+  MatrixF residual;
+};
+ViewSplit split_nm(const MatrixF& matrix, const NMPattern& pattern);
+
+}  // namespace tasd::sparse

@@ -1,0 +1,40 @@
+#include "tasder/framework.hpp"
+
+namespace tasd::tasder {
+
+std::string TasderModelResult::mode_name() const {
+  switch (mode) {
+    case TasderMode::kNone: return "none";
+    case TasderMode::kWeights: return "TASD-W";
+    case TasderMode::kActivations: return "TASD-A";
+  }
+  return "?";
+}
+
+TasderModelResult optimize_model(dnn::Model& model, const HwProfile& hw,
+                                 const dnn::EvalSet& calib,
+                                 const dnn::EvalSet& eval,
+                                 const std::vector<Index>& reference,
+                                 const TasderOptions& opt) {
+  TasderModelResult result;
+  if (hw.patterns.empty()) {
+    // Dense / unstructured hardware: nothing to decompose for.
+    model.clear_tasd();
+    return result;
+  }
+  if (model.weight_sparsity() >= opt.weight_sparse_threshold) {
+    result.mode = TasderMode::kWeights;
+    result.tasdw = tasdw_layer_wise(model, hw, eval, reference, opt.tasdw);
+    result.achieved_agreement = result.tasdw.achieved_agreement;
+    result.mac_fraction = result.tasdw.mac_fraction;
+  } else if (hw.has_tasd_units) {
+    result.mode = TasderMode::kActivations;
+    result.tasda =
+        tasda_layer_wise_auto(model, hw, calib, eval, reference, opt.tasda);
+    result.achieved_agreement = result.tasda.achieved_agreement;
+    result.mac_fraction = result.tasda.mac_fraction;
+  }
+  return result;
+}
+
+}  // namespace tasd::tasder

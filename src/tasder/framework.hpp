@@ -1,0 +1,47 @@
+// TASDER facade (paper Fig. 5): one entry point that takes a model (or a
+// full-scale workload), sample/calibration data, and the target hardware
+// description, and returns/applies the TASD transformation.
+#pragma once
+
+#include <string>
+
+#include "tasder/tasda.hpp"
+#include "tasder/tasdw.hpp"
+#include "tasder/workload_opt.hpp"
+
+namespace tasd::tasder {
+
+/// Combined options for the facade.
+struct TasderOptions {
+  TasdwOptions tasdw;
+  TasdaOptions tasda;
+  WorkloadOptOptions workload;
+  /// Weight-sparsity threshold above which the framework prefers TASD-W
+  /// over TASD-A for a model.
+  double weight_sparse_threshold = 0.30;
+};
+
+/// Which strategy the facade chose for a model.
+enum class TasderMode { kNone, kWeights, kActivations };
+
+/// Result of optimizing a model in place.
+struct TasderModelResult {
+  TasderMode mode = TasderMode::kNone;
+  TasdwResult tasdw;      ///< valid when mode == kWeights
+  TasdaResult tasda;      ///< valid when mode == kActivations
+  double achieved_agreement = 1.0;
+  double mac_fraction = 1.0;
+
+  [[nodiscard]] std::string mode_name() const;
+};
+
+/// Optimize `model` for `hw`: layer-wise TASD-W when the model's weights
+/// are unstructured sparse, otherwise layer-wise TASD-A (auto-α) when the
+/// hardware has TASD units. Configs are applied to the model.
+TasderModelResult optimize_model(dnn::Model& model, const HwProfile& hw,
+                                 const dnn::EvalSet& calib,
+                                 const dnn::EvalSet& eval,
+                                 const std::vector<Index>& reference,
+                                 const TasderOptions& opt = {});
+
+}  // namespace tasd::tasder

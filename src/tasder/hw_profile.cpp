@@ -1,0 +1,16 @@
+#include "tasder/hw_profile.hpp"
+
+namespace tasd::tasder {
+
+HwProfile hw_profile_from(const accel::ArchConfig& arch) {
+  HwProfile p;
+  p.name = arch.name;
+  if (arch.kind == accel::HwKind::kTTC) {
+    p.patterns = arch.supported_patterns;
+    p.max_terms = arch.max_tasd_terms;
+    p.has_tasd_units = arch.has_tasd_units;
+  }
+  return p;
+}
+
+}  // namespace tasd::tasder

@@ -1,0 +1,32 @@
+// What TASDER knows about the target hardware (paper Fig. 5 inputs):
+// the supported structured sparsity patterns, the TASD term budget, and
+// whether dynamic (activation) decomposition units exist.
+#pragma once
+
+#include <vector>
+
+#include "accel/arch.hpp"
+#include "core/config.hpp"
+#include "core/series_enum.hpp"
+
+namespace tasd::tasder {
+
+/// Hardware capabilities relevant to TASD configuration search.
+struct HwProfile {
+  std::string name;
+  std::vector<sparse::NMPattern> patterns;
+  int max_terms = 1;
+  bool has_tasd_units = false;  ///< dynamic TASD-A possible
+
+  /// All executable series, most aggressive (sparsest) first.
+  [[nodiscard]] std::vector<TasdConfig> candidate_configs() const {
+    return enumerate_configs(patterns, max_terms);
+  }
+};
+
+/// Derive the profile from an accelerator design point. Dense / DSTC
+/// designs yield an empty pattern set (TASDER will leave the model
+/// untouched for them).
+HwProfile hw_profile_from(const accel::ArchConfig& arch);
+
+}  // namespace tasd::tasder

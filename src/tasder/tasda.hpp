@@ -1,0 +1,72 @@
+// TASD-A: dynamic decomposition of activations (paper §4.3).
+//
+// Strategy: profile the model on calibration data, then for each eligible
+// layer pick the most aggressive series whose approximated sparsity stays
+// below (layer activation sparsity + α). For GELU/Swish layers (dense
+// activations) the sparsity is replaced by (1 - pseudo-density), the
+// paper's "beyond sparsity" heuristic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/calib.hpp"
+#include "dnn/metrics.hpp"
+#include "dnn/model.hpp"
+#include "tasder/hw_profile.hpp"
+
+namespace tasd::tasder {
+
+/// TASD-A options.
+struct TasdaOptions {
+  double alpha = 0.05;              ///< aggressiveness hyper-parameter
+  double quality_threshold = 0.99;  ///< 99 % rule
+  bool use_p99_density = false;     ///< conservative: p99 instead of mean
+};
+
+/// Per-layer TASD-A decision.
+struct TasdaLayerDecision {
+  std::string layer_name;
+  std::optional<TasdConfig> config;
+  double act_sparsity_used = 0.0;  ///< S(Li) that drove the selection
+  bool used_pseudo_density = false;
+};
+
+/// Result of a TASD-A run (configs applied to the model on return).
+struct TasdaResult {
+  std::vector<TasdaLayerDecision> decisions;
+  double achieved_agreement = 1.0;
+  double mac_fraction = 1.0;
+  std::string strategy;
+};
+
+/// The sparsity-based selection rule: most aggressive config in
+/// `candidates` (sorted most-aggressive-first) whose approximated
+/// sparsity < sparsity + alpha; nullopt if even the least aggressive
+/// one exceeds the budget.
+std::optional<TasdConfig> select_tasda_config(
+    const std::vector<TasdConfig>& candidates, double sparsity, double alpha);
+
+/// Layer-wise TASD-A with a fixed alpha.
+TasdaResult tasda_layer_wise(dnn::Model& model, const HwProfile& hw,
+                             const dnn::EvalSet& calib,
+                             const dnn::EvalSet& eval,
+                             const std::vector<Index>& reference,
+                             const TasdaOptions& opt = {});
+
+/// Sweep alphas from aggressive to conservative and keep the most
+/// aggressive result that satisfies the quality threshold.
+TasdaResult tasda_layer_wise_auto(dnn::Model& model, const HwProfile& hw,
+                                  const dnn::EvalSet& calib,
+                                  const dnn::EvalSet& eval,
+                                  const std::vector<Index>& reference,
+                                  const TasdaOptions& opt = {});
+
+/// Network-wise: one fixed config on all eligible layers (Fig. 14 sweep
+/// helper).
+TasdaResult tasda_apply_uniform(dnn::Model& model, const TasdConfig& cfg,
+                                const dnn::EvalSet& eval,
+                                const std::vector<Index>& reference);
+
+}  // namespace tasd::tasder

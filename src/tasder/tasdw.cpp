@@ -1,0 +1,163 @@
+#include "tasder/tasdw.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "core/approx_stats.hpp"
+#include "tasder/util.hpp"
+
+namespace tasd::tasder {
+
+namespace {
+
+std::vector<LayerDecision> collect_decisions(dnn::Model& model) {
+  std::vector<LayerDecision> out;
+  for (auto* layer : model.gemm_layers()) {
+    LayerDecision d;
+    d.layer_name = layer->name();
+    d.config = layer->tasd_w();
+    if (d.config) {
+      d.series_density = d.config->max_density();
+      d.dropped_nnz_fraction =
+          approx_stats(layer->weight(), *d.config).dropped_nnz_fraction();
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+TasdwResult tasdw_apply_uniform(dnn::Model& model, const TasdConfig& cfg,
+                                const dnn::EvalSet& eval,
+                                const std::vector<Index>& reference) {
+  for (auto* layer : model.gemm_layers()) layer->set_tasd_w(cfg);
+  TasdwResult r;
+  r.strategy = "network-wise " + cfg.str();
+  r.achieved_agreement = dnn::top1_agreement(model, eval, reference);
+  r.mac_fraction = model_slot_mac_fraction(model);
+  r.decisions = collect_decisions(model);
+  return r;
+}
+
+TasdwResult tasdw_network_wise(dnn::Model& model, const HwProfile& hw,
+                               const dnn::EvalSet& eval,
+                               const std::vector<Index>& reference,
+                               const TasdwOptions& opt) {
+  // Candidates come most-aggressive-first; the first one that satisfies
+  // the quality rule wins (paper: exhaustive search is feasible because
+  // the config count is small).
+  for (const auto& cfg : hw.candidate_configs()) {
+    TasdwResult r = tasdw_apply_uniform(model, cfg, eval, reference);
+    if (r.achieved_agreement >= opt.quality_threshold) return r;
+  }
+  // Nothing met the bar: leave the model dense.
+  model.clear_tasd();
+  TasdwResult r;
+  r.strategy = "network-wise (none valid)";
+  r.achieved_agreement = dnn::top1_agreement(model, eval, reference);
+  r.mac_fraction = 1.0;
+  r.decisions = collect_decisions(model);
+  return r;
+}
+
+TasdwResult tasdw_layer_wise(dnn::Model& model, const HwProfile& hw,
+                             const dnn::EvalSet& eval,
+                             const std::vector<Index>& reference,
+                             const TasdwOptions& opt) {
+  auto layers = model.gemm_layers();
+  const auto configs = hw.candidate_configs();
+
+  // Step 1 (paper): measure dropped-non-zero fraction for every
+  // (layer, config) pair.
+  struct Pair {
+    dnn::GemmLayer* layer;
+    const TasdConfig* cfg;
+    double dropped;
+    double density;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(layers.size() * configs.size());
+  for (auto* layer : layers) {
+    for (const auto& cfg : configs) {
+      const auto stats = approx_stats(layer->weight(), cfg);
+      pairs.push_back(
+          {layer, &cfg, stats.dropped_nnz_fraction(), cfg.max_density()});
+    }
+  }
+  // Step 2: sort by dropped fraction (smallest first); break ties toward
+  // the sparser (more beneficial) config, then by layer name for
+  // determinism.
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.dropped != b.dropped) return a.dropped < b.dropped;
+    if (a.density != b.density) return a.density < b.density;
+    return a.layer->name() < b.layer->name();
+  });
+  // Drop pairs that would *densify* an earlier, sparser decision for the
+  // same layer: once a layer reaches density d at dropped-cost c, any
+  // later pair with higher density is never an improvement.
+  {
+    std::vector<Pair> filtered;
+    for (const auto& p : pairs) {
+      bool dominated = false;
+      for (auto it = filtered.rbegin(); it != filtered.rend(); ++it) {
+        if (it->layer == p.layer) {
+          dominated = it->density <= p.density;
+          break;
+        }
+      }
+      if (!dominated) filtered.push_back(p);
+    }
+    pairs = std::move(filtered);
+  }
+
+  // Step 3: greedily apply the sorted prefix while quality holds. Applying
+  // prefix length L means: for each layer, the *last* pair within the
+  // prefix that touches it is in force. Quality degrades monotonically in
+  // L, so the longest valid prefix can be found by binary search.
+  auto apply_prefix = [&](std::size_t len) {
+    for (auto* layer : layers) layer->set_tasd_w(std::nullopt);
+    for (std::size_t i = 0; i < len; ++i)
+      pairs[i].layer->set_tasd_w(*pairs[i].cfg);
+  };
+  auto quality_of_prefix = [&](std::size_t len) {
+    apply_prefix(len);
+    return dnn::top1_agreement(model, eval, reference);
+  };
+
+  std::size_t best = 0;
+  if (opt.binary_search_prefix) {
+    std::size_t lo = 0;
+    std::size_t hi = pairs.size();
+    // Invariant: prefix `lo` is valid, `hi+1` unknown/invalid.
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (quality_of_prefix(mid) >= opt.quality_threshold) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    best = lo;
+  } else {
+    // Exact paper order: stop at the first violation.
+    for (std::size_t len = 1; len <= pairs.size(); ++len) {
+      if (quality_of_prefix(len) < opt.quality_threshold) break;
+      best = len;
+    }
+  }
+
+  apply_prefix(best);
+  TasdwResult r;
+  r.strategy = "layer-wise";
+  r.achieved_agreement = dnn::top1_agreement(model, eval, reference);
+  r.mac_fraction = model_slot_mac_fraction(model);
+  r.decisions = collect_decisions(model);
+  TASD_INFO("tasdw_layer_wise: applied " << best << "/" << pairs.size()
+                                         << " pairs, agreement "
+                                         << r.achieved_agreement);
+  return r;
+}
+
+}  // namespace tasd::tasder

@@ -1,0 +1,68 @@
+// TASD-W: static decomposition of (unstructured-sparse or dense) weights
+// (paper §4.2).
+//
+// Two strategies:
+//  * network-wise — one series for every layer, found by exhaustive
+//    search over the HW's candidate configs;
+//  * layer-wise   — the paper's greedy: rank (layer, config) pairs by
+//    dropped-non-zero fraction and apply in that order while the model
+//    keeps >= `quality_threshold` top-1 agreement.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/metrics.hpp"
+#include "dnn/model.hpp"
+#include "tasder/hw_profile.hpp"
+
+namespace tasd::tasder {
+
+/// Options shared by both TASD-W strategies.
+struct TasdwOptions {
+  double quality_threshold = 0.99;  ///< MLPerf-style 99 % rule
+  /// Evaluate the greedy prefix by binary search (O(log n) model
+  /// evaluations) instead of after every single application.
+  bool binary_search_prefix = true;
+};
+
+/// Final decision for one layer.
+struct LayerDecision {
+  std::string layer_name;
+  std::optional<TasdConfig> config;   ///< nullopt = left dense
+  double dropped_nnz_fraction = 0.0;  ///< of the layer's weights
+  double series_density = 1.0;        ///< slot density (1 = dense)
+};
+
+/// Result of a TASD-W run. The configs are *applied* to the model on
+/// return (model.clear_tasd() undoes them).
+struct TasdwResult {
+  std::vector<LayerDecision> decisions;
+  double achieved_agreement = 1.0;
+  /// Slot MACs of the transformed model / dense MACs (Fig. 20 metric).
+  double mac_fraction = 1.0;
+  /// Flat description, e.g. "layer-wise" / "network-wise 4:8+1:8".
+  std::string strategy;
+};
+
+/// Network-wise TASD-W: pick the single most aggressive config that
+/// keeps quality; applies it to every GEMM layer.
+TasdwResult tasdw_network_wise(dnn::Model& model, const HwProfile& hw,
+                               const dnn::EvalSet& eval,
+                               const std::vector<Index>& reference,
+                               const TasdwOptions& opt = {});
+
+/// Layer-wise greedy TASD-W (the paper's algorithm).
+TasdwResult tasdw_layer_wise(dnn::Model& model, const HwProfile& hw,
+                             const dnn::EvalSet& eval,
+                             const std::vector<Index>& reference,
+                             const TasdwOptions& opt = {});
+
+/// Evaluate a fixed network-wise config without searching (Fig. 14 sweep
+/// helper): applies `cfg` to all layers and reports agreement + MACs.
+TasdwResult tasdw_apply_uniform(dnn::Model& model, const TasdConfig& cfg,
+                                const dnn::EvalSet& eval,
+                                const std::vector<Index>& reference);
+
+}  // namespace tasd::tasder

@@ -1,0 +1,23 @@
+#include "tasder/util.hpp"
+
+namespace tasd::tasder {
+
+double model_slot_mac_fraction(dnn::Model& model) {
+  double dense = 0.0;
+  double used = 0.0;
+  for (auto* layer : model.gemm_layers()) {
+    const auto& d = layer->stats().dims;
+    const double macs = d.m && d.k && d.n
+                            ? static_cast<double>(d.m * d.k * d.n)
+                            : static_cast<double>(layer->weight().size());
+    dense += macs;
+    double density = 1.0;
+    if (layer->tasd_w()) density = layer->tasd_w()->max_density();
+    if (layer->tasd_a())
+      density = std::min(density, layer->tasd_a()->max_density());
+    used += macs * density;
+  }
+  return dense > 0.0 ? used / dense : 1.0;
+}
+
+}  // namespace tasd::tasder

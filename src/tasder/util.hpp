@@ -1,0 +1,15 @@
+// Shared helpers for the TASDER strategies.
+#pragma once
+
+#include "dnn/model.hpp"
+
+namespace tasd::tasder {
+
+/// Slot-MAC fraction of the model under its current TASD configuration:
+/// Σ_layers density(series) * dense MACs / Σ dense MACs, where a layer's
+/// series is its TASD-W or TASD-A config (dense = 1). Uses each layer's
+/// last recorded GEMM dims; layers that never ran weigh by parameter
+/// count.
+double model_slot_mac_fraction(dnn::Model& model);
+
+}  // namespace tasd::tasder

@@ -1,0 +1,65 @@
+#include "tasder/workload_opt.hpp"
+
+#include "common/logging.hpp"
+#include "core/approx_stats.hpp"
+#include "core/permute.hpp"
+#include "tasder/tasda.hpp"
+
+namespace tasd::tasder {
+
+std::vector<accel::LayerExecution> plain_executions(
+    const dnn::NetworkWorkload& net) {
+  std::vector<accel::LayerExecution> out;
+  out.reserve(net.layers.size());
+  for (const auto& layer : net.layers) out.push_back({layer, {}, {}, {}});
+  return out;
+}
+
+std::vector<accel::LayerExecution> optimize_workload(
+    const dnn::NetworkWorkload& net, const HwProfile& hw,
+    const WorkloadOptOptions& opt) {
+  if (hw.patterns.empty()) return plain_executions(net);
+  const auto candidates = hw.candidate_configs();
+
+  std::vector<accel::LayerExecution> out;
+  out.reserve(net.layers.size());
+  for (const auto& layer : net.layers) {
+    accel::LayerExecution exec{layer, {}, {}, {}};
+    if (net.sparse_weights) {
+      // TASD-W: most aggressive series within the drop budget, measured
+      // on the materialized weights (optionally permutation-balanced).
+      MatrixF w = dnn::materialize_weight(layer);
+      for (const auto& cfg : candidates) {
+        ApproxStats stats = approx_stats(w, cfg);
+        if (opt.use_channel_permutation &&
+            stats.dropped_nnz_fraction() > opt.weight_drop_budget) {
+          stats = find_tasd_permutation(w, cfg, 1).after;
+        }
+        if (stats.dropped_nnz_fraction() <= opt.weight_drop_budget) {
+          exec.weight_cfg = cfg;
+          exec.weight_kept_fraction =
+              static_cast<double>(stats.kept_nnz) /
+              static_cast<double>(w.size());
+          break;
+        }
+      }
+      TASD_DEBUG("workload " << net.name << " layer " << layer.name
+                             << ": TASD-W "
+                             << (exec.weight_cfg ? exec.weight_cfg->str()
+                                                 : "none"));
+    } else if (hw.has_tasd_units && layer.tasd_a_eligible) {
+      // TASD-A via the sparsity(+pseudo-density) + alpha rule.
+      const double sparsity = layer.act_relu
+                                  ? 1.0 - layer.act_density
+                                  : 1.0 - layer.act_pseudo_density;
+      exec.act_cfg = select_tasda_config(candidates, sparsity, opt.alpha);
+      TASD_DEBUG("workload " << net.name << " layer " << layer.name
+                             << ": TASD-A "
+                             << (exec.act_cfg ? exec.act_cfg->str() : "none"));
+    }
+    out.push_back(std::move(exec));
+  }
+  return out;
+}
+
+}  // namespace tasd::tasder

@@ -1,0 +1,30 @@
+#include "tensor/gemm_ref.hpp"
+
+namespace tasd {
+
+MatrixF gemm_ref(const MatrixF& a, const MatrixF& b) {
+  MatrixF c(a.rows(), b.cols());
+  gemm_ref_accumulate(a, b, c);
+  return c;
+}
+
+void gemm_ref_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  TASD_CHECK_MSG(a.cols() == b.rows(), "GEMM inner dim mismatch: A is "
+                                           << a.rows() << "x" << a.cols()
+                                           << ", B is " << b.rows() << "x"
+                                           << b.cols());
+  TASD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
+  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order keeps B and C accesses sequential.
+  for (Index i = 0; i < m; ++i) {
+    for (Index p = 0; p < k; ++p) {
+      const float av = a(i, p);
+      if (av == 0.0F) continue;  // honest work-skipping for sparse A
+      const float* brow = b.data() + p * n;
+      float* crow = c.data() + i * n;
+      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace tasd

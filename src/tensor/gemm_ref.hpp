@@ -1,0 +1,15 @@
+// Reference (correctness-oracle) GEMM. The optimized kernels live in
+// src/runtime/; everything is validated against this implementation.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// C = A * B. A is MxK, B is KxN; returns MxN.
+MatrixF gemm_ref(const MatrixF& a, const MatrixF& b);
+
+/// C += A * B into an existing accumulator (shapes checked).
+void gemm_ref_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+}  // namespace tasd

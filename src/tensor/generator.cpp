@@ -1,0 +1,101 @@
+#include "tensor/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tasd {
+
+namespace {
+
+float draw(Dist dist, Rng& rng) {
+  switch (dist) {
+    case Dist::kUniform01:
+      return rng.uniform_float(0.0F, 1.0F);
+    case Dist::kNormal:
+      return static_cast<float>(rng.normal(0.0, 1.0 / 3.0));
+    case Dist::kNormalStd1:
+      return static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  return 0.0F;
+}
+
+/// Draw a non-zero value (re-draws the rare exact zero).
+float draw_nonzero(Dist dist, Rng& rng) {
+  float v = draw(dist, rng);
+  while (v == 0.0F) v = draw(dist, rng);
+  return v;
+}
+
+}  // namespace
+
+MatrixF random_dense(Index rows, Index cols, Dist dist, Rng& rng) {
+  MatrixF m(rows, cols);
+  for (auto& v : m.flat()) v = draw(dist, rng);
+  return m;
+}
+
+MatrixF random_unstructured(Index rows, Index cols, double density, Dist dist,
+                            Rng& rng) {
+  TASD_CHECK_MSG(density >= 0.0 && density <= 1.0,
+                 "density " << density << " out of [0,1]");
+  MatrixF m(rows, cols);
+  for (auto& v : m.flat())
+    if (rng.bernoulli(density)) v = draw_nonzero(dist, rng);
+  return m;
+}
+
+MatrixF random_nm_structured(Index rows, Index cols, int n, int m, Dist dist,
+                             Rng& rng) {
+  TASD_CHECK_MSG(n >= 0 && m > 0 && n <= m, "invalid N:M = " << n << ":" << m);
+  MatrixF out(rows, cols);
+  std::vector<Index> positions;
+  for (Index r = 0; r < rows; ++r) {
+    for (Index b = 0; b < cols; b += static_cast<Index>(m)) {
+      const Index block_len = std::min<Index>(static_cast<Index>(m), cols - b);
+      positions.resize(block_len);
+      std::iota(positions.begin(), positions.end(), b);
+      rng.shuffle(positions);
+      const Index keep = std::min<Index>(static_cast<Index>(n), block_len);
+      for (Index i = 0; i < keep; ++i)
+        out(r, positions[i]) = draw_nonzero(dist, rng);
+    }
+  }
+  return out;
+}
+
+Tensor4D random_tensor(Index n, Index c, Index h, Index w, double density,
+                       Dist dist, Rng& rng) {
+  TASD_CHECK_MSG(density >= 0.0 && density <= 1.0,
+                 "density " << density << " out of [0,1]");
+  Tensor4D t(n, c, h, w);
+  for (auto& v : t.flat())
+    if (density >= 1.0 || rng.bernoulli(density)) v = draw_nonzero(dist, rng);
+  return t;
+}
+
+MatrixF magnitude_prune(const MatrixF& dense, double target_sparsity) {
+  TASD_CHECK_MSG(target_sparsity >= 0.0 && target_sparsity <= 1.0,
+                 "sparsity " << target_sparsity << " out of [0,1]");
+  MatrixF out = dense;
+  const Index total = out.size();
+  const auto to_zero = static_cast<Index>(
+      std::llround(target_sparsity * static_cast<double>(total)));
+  if (to_zero == 0) return out;
+
+  std::vector<Index> order(total);
+  std::iota(order.begin(), order.end(), Index{0});
+  auto flat = out.flat();
+  // nth_element on |value| finds the pruning threshold set in O(n).
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(to_zero),
+                   order.end(), [&flat](Index a, Index b) {
+                     const float fa = std::fabs(flat[a]);
+                     const float fb = std::fabs(flat[b]);
+                     if (fa != fb) return fa < fb;
+                     return a < b;  // deterministic tie-break
+                   });
+  for (Index i = 0; i < to_zero; ++i) flat[order[i]] = 0.0F;
+  return out;
+}
+
+}  // namespace tasd

@@ -1,0 +1,59 @@
+#include "tensor/im2col.hpp"
+
+namespace tasd {
+
+MatrixF im2col(const Tensor4D& input, Index batch, const ConvShape& shape) {
+  TASD_CHECK(batch < input.n());
+  TASD_CHECK_MSG(input.c() == shape.in_channels,
+                 "input channels " << input.c() << " != conv in_channels "
+                                   << shape.in_channels);
+  const Index oh = shape.out_h(input.h());
+  const Index ow = shape.out_w(input.w());
+  MatrixF patches(shape.in_channels * shape.kernel_h * shape.kernel_w,
+                  oh * ow);
+
+  for (Index c = 0; c < shape.in_channels; ++c) {
+    for (Index kh = 0; kh < shape.kernel_h; ++kh) {
+      for (Index kw = 0; kw < shape.kernel_w; ++kw) {
+        const Index prow = (c * shape.kernel_h + kh) * shape.kernel_w + kw;
+        for (Index y = 0; y < oh; ++y) {
+          // Signed arithmetic for the padded coordinate.
+          const std::ptrdiff_t in_y =
+              static_cast<std::ptrdiff_t>(y * shape.stride + kh) -
+              static_cast<std::ptrdiff_t>(shape.padding);
+          for (Index x = 0; x < ow; ++x) {
+            const std::ptrdiff_t in_x =
+                static_cast<std::ptrdiff_t>(x * shape.stride + kw) -
+                static_cast<std::ptrdiff_t>(shape.padding);
+            float v = 0.0F;
+            if (in_y >= 0 && in_y < static_cast<std::ptrdiff_t>(input.h()) &&
+                in_x >= 0 && in_x < static_cast<std::ptrdiff_t>(input.w())) {
+              v = input(batch, c, static_cast<Index>(in_y),
+                        static_cast<Index>(in_x));
+            }
+            patches(prow, y * ow + x) = v;
+          }
+        }
+      }
+    }
+  }
+  return patches;
+}
+
+void col2im_output(const MatrixF& gemm_out, Index batch, Index out_h,
+                   Index out_w, Tensor4D& output) {
+  TASD_CHECK(batch < output.n());
+  TASD_CHECK_MSG(gemm_out.rows() == output.c(),
+                 "GEMM rows " << gemm_out.rows() << " != output channels "
+                              << output.c());
+  TASD_CHECK_MSG(gemm_out.cols() == out_h * out_w,
+                 "GEMM cols " << gemm_out.cols() << " != " << out_h << "*"
+                              << out_w);
+  TASD_CHECK(output.h() == out_h && output.w() == out_w);
+  for (Index c = 0; c < output.c(); ++c)
+    for (Index y = 0; y < out_h; ++y)
+      for (Index x = 0; x < out_w; ++x)
+        output(batch, c, y, x) = gemm_out(c, y * out_w + x);
+}
+
+}  // namespace tasd

@@ -1,0 +1,42 @@
+// im2col lowering: turns a convolution into a GEMM, which is how both the
+// paper's accelerators and our CPU runtime execute CONV layers.
+#pragma once
+
+#include "tensor/matrix.hpp"
+#include "tensor/tensor4d.hpp"
+
+namespace tasd {
+
+/// Static shape description of a 2-D convolution.
+struct ConvShape {
+  Index in_channels = 0;
+  Index out_channels = 0;
+  Index kernel_h = 1;
+  Index kernel_w = 1;
+  Index stride = 1;
+  Index padding = 0;
+
+  /// Output spatial height for a given input height.
+  [[nodiscard]] Index out_h(Index in_h) const {
+    TASD_CHECK_MSG(in_h + 2 * padding >= kernel_h,
+                   "kernel larger than padded input");
+    return (in_h + 2 * padding - kernel_h) / stride + 1;
+  }
+  /// Output spatial width for a given input width.
+  [[nodiscard]] Index out_w(Index in_w) const {
+    TASD_CHECK_MSG(in_w + 2 * padding >= kernel_w,
+                   "kernel larger than padded input");
+    return (in_w + 2 * padding - kernel_w) / stride + 1;
+  }
+};
+
+/// Lower one batch item to a (C*kh*kw) x (out_h*out_w) patch matrix.
+/// Out-of-bounds (padding) positions contribute zeros.
+MatrixF im2col(const Tensor4D& input, Index batch, const ConvShape& shape);
+
+/// Fold a (out_channels) x (out_h*out_w) GEMM result back into the output
+/// tensor at the given batch index.
+void col2im_output(const MatrixF& gemm_out, Index batch, Index out_h,
+                   Index out_w, Tensor4D& output);
+
+}  // namespace tasd

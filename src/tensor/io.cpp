@@ -1,0 +1,103 @@
+#include "tensor/io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+namespace {
+constexpr char kMagic[8] = {'T', 'A', 'S', 'D', 'M', 'A', 'T', '1'};
+}
+
+void save_matrix_csv(const MatrixF& m, const std::string& path) {
+  std::ofstream out(path);
+  TASD_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  char buf[64];
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index c = 0; c < m.cols(); ++c) {
+      std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(m(r, c)));
+      if (c) out << ',';
+      out << buf;
+    }
+    out << '\n';
+  }
+  TASD_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+MatrixF load_matrix_csv(const std::string& path) {
+  std::ifstream in(path);
+  TASD_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  std::vector<float> data;
+  Index cols = 0;
+  Index rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Index line_cols = 0;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        // Parse through double: stof rejects subnormal float values,
+        // stod handles them and the cast rounds correctly.
+        data.push_back(static_cast<float>(std::stod(cell)));
+      } catch (const std::exception&) {
+        TASD_CHECK_MSG(false, "bad CSV cell '" << cell << "' in " << path);
+      }
+      ++line_cols;
+    }
+    if (rows == 0) {
+      cols = line_cols;
+    } else {
+      TASD_CHECK_MSG(line_cols == cols, "ragged CSV: row " << rows << " has "
+                                                           << line_cols
+                                                           << " cells, expected "
+                                                           << cols);
+    }
+    ++rows;
+  }
+  TASD_CHECK_MSG(rows > 0, "empty CSV file '" << path << "'");
+  return {rows, cols, std::move(data)};
+}
+
+void save_matrix_binary(const MatrixF& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  TASD_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, sizeof kMagic);
+  const std::uint64_t rows = m.rows();
+  const std::uint64_t cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+  out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+  TASD_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+MatrixF load_matrix_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TASD_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  TASD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                 "'" << path << "' is not a TASD matrix file");
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+  TASD_CHECK_MSG(in.good(), "truncated header in '" << path << "'");
+  TASD_CHECK_MSG(rows * cols < (1ULL << 32),
+                 "implausible matrix size in '" << path << "'");
+  MatrixF m(static_cast<Index>(rows), static_cast<Index>(cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(float)));
+  TASD_CHECK_MSG(in.good() || m.size() == 0,
+                 "truncated data in '" << path << "'");
+  return m;
+}
+
+}  // namespace tasd

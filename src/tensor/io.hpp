@@ -1,0 +1,24 @@
+// Matrix serialization: CSV (interoperable, human-readable) and a raw
+// binary format (fast, exact). Lets users bring their own pruned weights
+// into the decomposition tools and export results for plotting.
+#pragma once
+
+#include <string>
+
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Write `m` as CSV (one row per line, '%.9g' precision — lossless for
+/// float32). Throws tasd::Error on I/O failure.
+void save_matrix_csv(const MatrixF& m, const std::string& path);
+
+/// Read a CSV matrix; every row must have the same column count.
+MatrixF load_matrix_csv(const std::string& path);
+
+/// Binary format: magic "TASDMAT1", u64 rows, u64 cols, float32 data
+/// (little-endian, row-major). Exact round trip.
+void save_matrix_binary(const MatrixF& m, const std::string& path);
+MatrixF load_matrix_binary(const std::string& path);
+
+}  // namespace tasd

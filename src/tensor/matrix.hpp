@@ -1,0 +1,149 @@
+// Dense row-major matrix, the workhorse value type of the library.
+//
+// Design notes:
+//  * Value semantics (copyable, movable); no views that outlive storage.
+//  * Row-major so a "block of M consecutive elements in a row" — the unit
+//    of N:M structured sparsity — is contiguous in memory.
+//  * Header-only template; instantiated in practice as Matrix<float>.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tasd {
+
+using Index = std::size_t;
+
+/// Dense row-major matrix over an arithmetic element type.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(Index rows, Index cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from a row-major flat initializer; data.size() must equal
+  /// rows*cols.
+  Matrix(Index rows, Index cols, std::vector<T> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    TASD_CHECK_MSG(data_.size() == rows_ * cols_,
+                   "flat data size " << data_.size() << " != " << rows_ << "x"
+                                     << cols_);
+  }
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access (hot paths).
+  T& operator()(Index r, Index c) { return data_[r * cols_ + c]; }
+  const T& operator()(Index r, Index c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked element access.
+  T& at(Index r, Index c) {
+    TASD_CHECK_MSG(r < rows_ && c < cols_,
+                   "index (" << r << "," << c << ") out of " << rows_ << "x"
+                             << cols_);
+    return (*this)(r, c);
+  }
+  const T& at(Index r, Index c) const {
+    TASD_CHECK_MSG(r < rows_ && c < cols_,
+                   "index (" << r << "," << c << ") out of " << rows_ << "x"
+                             << cols_);
+    return (*this)(r, c);
+  }
+
+  /// Contiguous row view.
+  std::span<T> row(Index r) {
+    TASD_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const T> row(Index r) const {
+    TASD_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Whole-storage views.
+  std::span<T> flat() { return {data_.data(), data_.size()}; }
+  std::span<const T> flat() const { return {data_.data(), data_.size()}; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Elementwise addition; shapes must match.
+  Matrix& operator+=(const Matrix& o) {
+    check_same_shape(o);
+    for (Index i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+
+  /// Elementwise subtraction; shapes must match.
+  Matrix& operator-=(const Matrix& o) {
+    check_same_shape(o);
+    for (Index i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+
+  /// Scalar scaling.
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+
+  /// Exact elementwise equality (useful for decomposition invariants where
+  /// values are moved, never recomputed).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Transposed copy.
+  [[nodiscard]] Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (Index r = 0; r < rows_; ++r)
+      for (Index c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  /// Number of non-zero elements.
+  [[nodiscard]] Index nnz() const {
+    Index n = 0;
+    for (const auto& v : data_)
+      if (v != T{}) ++n;
+    return n;
+  }
+
+  /// Fraction of zero elements in [0,1]; 0 for an empty matrix.
+  [[nodiscard]] double sparsity() const {
+    if (data_.empty()) return 0.0;
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(size());
+  }
+
+ private:
+  void check_same_shape(const Matrix& o) const {
+    TASD_CHECK_MSG(rows_ == o.rows_ && cols_ == o.cols_,
+                   "shape mismatch: " << rows_ << "x" << cols_ << " vs "
+                                      << o.rows_ << "x" << o.cols_);
+  }
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+
+}  // namespace tasd

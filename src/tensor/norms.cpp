@@ -1,0 +1,61 @@
+#include "tensor/norms.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tasd {
+
+double frobenius_norm(const MatrixF& m) {
+  double acc = 0.0;
+  for (float v : m.flat()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double magnitude_sum(const MatrixF& m) {
+  double acc = 0.0;
+  for (float v : m.flat()) acc += std::fabs(static_cast<double>(v));
+  return acc;
+}
+
+double element_sum(const MatrixF& m) {
+  double acc = 0.0;
+  for (float v : m.flat()) acc += static_cast<double>(v);
+  return acc;
+}
+
+double mse(const MatrixF& a, const MatrixF& b) {
+  TASD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (Index i = 0; i < fa.size(); ++i) {
+    const double d = static_cast<double>(fa[i]) - fb[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(fa.size());
+}
+
+double relative_frobenius_error(const MatrixF& a, const MatrixF& b) {
+  TASD_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const double ref = frobenius_norm(a);
+  const double diff = frobenius_norm(a - b);
+  if (ref == 0.0) {
+    return diff == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return diff / ref;
+}
+
+bool allclose(const MatrixF& a, const MatrixF& b, double rtol, double atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (Index i = 0; i < fa.size(); ++i) {
+    const double diff = std::fabs(static_cast<double>(fa[i]) - fb[i]);
+    if (diff > atol + rtol * std::fabs(static_cast<double>(fa[i])))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace tasd

@@ -1,0 +1,29 @@
+// Norms and matrix comparison metrics used by the approximation-error
+// experiments (paper Appendix A).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Frobenius norm sqrt(sum of squares).
+double frobenius_norm(const MatrixF& m);
+
+/// Sum of |element| over the matrix (the paper's "sum of magnitudes").
+double magnitude_sum(const MatrixF& m);
+
+/// Plain element sum.
+double element_sum(const MatrixF& m);
+
+/// Mean squared error between two same-shape matrices.
+double mse(const MatrixF& a, const MatrixF& b);
+
+/// Relative Frobenius error ||a - b|| / ||a||; returns 0 when both are
+/// zero matrices, and infinity when only `a` is zero.
+double relative_frobenius_error(const MatrixF& a, const MatrixF& b);
+
+/// True if all elements differ by at most atol + rtol*|reference|.
+bool allclose(const MatrixF& a, const MatrixF& b, double rtol = 1e-5,
+              double atol = 1e-6);
+
+}  // namespace tasd

@@ -1,0 +1,45 @@
+#include "tensor/tensor4d.hpp"
+
+namespace tasd {
+
+Tensor4D::Tensor4D(Index n, Index c, Index h, Index w)
+    : n_(n), c_(c), h_(h), w_(w), data_(n * c * h * w, 0.0F) {}
+
+float& Tensor4D::at(Index n, Index c, Index h, Index w) {
+  TASD_CHECK_MSG(n < n_ && c < c_ && h < h_ && w < w_,
+                 "index (" << n << ',' << c << ',' << h << ',' << w
+                           << ") out of " << n_ << 'x' << c_ << 'x' << h_
+                           << 'x' << w_);
+  return (*this)(n, c, h, w);
+}
+
+const float& Tensor4D::at(Index n, Index c, Index h, Index w) const {
+  TASD_CHECK_MSG(n < n_ && c < c_ && h < h_ && w < w_,
+                 "index (" << n << ',' << c << ',' << h << ',' << w
+                           << ") out of " << n_ << 'x' << c_ << 'x' << h_
+                           << 'x' << w_);
+  return (*this)(n, c, h, w);
+}
+
+Index Tensor4D::nnz() const {
+  Index count = 0;
+  for (float v : data_)
+    if (v != 0.0F) ++count;
+  return count;
+}
+
+double Tensor4D::sparsity() const {
+  if (data_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(nnz()) / static_cast<double>(data_.size());
+}
+
+MatrixF Tensor4D::as_matrix(Index batch) const {
+  TASD_CHECK(batch < n_);
+  MatrixF m(c_, h_ * w_);
+  for (Index c = 0; c < c_; ++c)
+    for (Index h = 0; h < h_; ++h)
+      for (Index w = 0; w < w_; ++w) m(c, h * w_ + w) = (*this)(batch, c, h, w);
+  return m;
+}
+
+}  // namespace tasd

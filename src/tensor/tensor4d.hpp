@@ -1,0 +1,50 @@
+// 4-D tensor in NCHW layout for the convolution substrate.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Dense NCHW float tensor (batch, channels, height, width).
+class Tensor4D {
+ public:
+  Tensor4D() = default;
+  Tensor4D(Index n, Index c, Index h, Index w);
+
+  [[nodiscard]] Index n() const { return n_; }
+  [[nodiscard]] Index c() const { return c_; }
+  [[nodiscard]] Index h() const { return h_; }
+  [[nodiscard]] Index w() const { return w_; }
+  [[nodiscard]] Index size() const { return data_.size(); }
+
+  float& operator()(Index n, Index c, Index h, Index w) {
+    return data_[((n * c_ + c) * h_ + h) * w_ + w];
+  }
+  const float& operator()(Index n, Index c, Index h, Index w) const {
+    return data_[((n * c_ + c) * h_ + h) * w_ + w];
+  }
+
+  float& at(Index n, Index c, Index h, Index w);
+  [[nodiscard]] const float& at(Index n, Index c, Index h, Index w) const;
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  /// Number of non-zero elements.
+  [[nodiscard]] Index nnz() const;
+
+  /// Fraction of zero elements.
+  [[nodiscard]] double sparsity() const;
+
+  /// Reinterpret one batch item as a (C, H*W) matrix copy.
+  [[nodiscard]] MatrixF as_matrix(Index batch) const;
+
+ private:
+  Index n_ = 0, c_ = 0, h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tasd

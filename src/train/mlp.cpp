@@ -1,0 +1,140 @@
+#include "train/mlp.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/decompose.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace tasd::train {
+
+Mlp::Mlp(const std::vector<Index>& sizes, std::uint64_t seed) {
+  TASD_CHECK_MSG(sizes.size() >= 2, "MLP needs at least input and output");
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    DenseLayer layer;
+    layer.weight = MatrixF(sizes[i + 1], sizes[i]);
+    const double stddev = std::sqrt(2.0 / static_cast<double>(sizes[i]));
+    for (float& v : layer.weight.flat())
+      v = static_cast<float>(rng.normal(0.0, stddev));
+    layer.bias.assign(sizes[i + 1], 0.0F);
+    layer.relu = i + 2 < sizes.size();  // last layer is linear
+    layers_.push_back(std::move(layer));
+  }
+  grad_w_.resize(layers_.size());
+  grad_b_.resize(layers_.size());
+}
+
+MatrixF Mlp::forward(const MatrixF& x) {
+  MatrixF cur = x;
+  for (auto& layer : layers_) {
+    TASD_CHECK_MSG(cur.rows() == layer.weight.cols(),
+                   "MLP input features mismatch");
+    layer.input = cur;
+    MatrixF y = gemm_ref(layer.weight, cur);
+    for (Index r = 0; r < y.rows(); ++r)
+      for (Index c = 0; c < y.cols(); ++c) y(r, c) += layer.bias[r];
+    layer.pre_act = y;
+    if (layer.relu)
+      for (float& v : y.flat()) v = v > 0.0F ? v : 0.0F;
+    cur = std::move(y);
+  }
+  return cur;
+}
+
+double Mlp::softmax_ce_loss(const MatrixF& logits,
+                            const std::vector<Index>& labels,
+                            MatrixF& dlogits) {
+  TASD_CHECK_MSG(labels.size() == logits.cols(),
+                 "one label per logits column required");
+  dlogits = MatrixF(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const auto batch = static_cast<double>(logits.cols());
+  for (Index c = 0; c < logits.cols(); ++c) {
+    TASD_CHECK_MSG(labels[c] < logits.rows(), "label out of range");
+    float mx = logits(0, c);
+    for (Index r = 1; r < logits.rows(); ++r) mx = std::max(mx, logits(r, c));
+    double sum = 0.0;
+    for (Index r = 0; r < logits.rows(); ++r)
+      sum += std::exp(static_cast<double>(logits(r, c)) - mx);
+    for (Index r = 0; r < logits.rows(); ++r) {
+      const double p =
+          std::exp(static_cast<double>(logits(r, c)) - mx) / sum;
+      dlogits(r, c) = static_cast<float>(
+          (p - (r == labels[c] ? 1.0 : 0.0)) / batch);
+      if (r == labels[c]) loss -= std::log(std::max(p, 1e-12));
+    }
+  }
+  return loss / batch;
+}
+
+void Mlp::backward(const MatrixF& dlogits, const TasdTrainingHooks& hooks) {
+  MatrixF dy = dlogits;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    auto& layer = layers_[li];
+    // ReLU gate.
+    if (layer.relu) {
+      for (Index r = 0; r < dy.rows(); ++r)
+        for (Index c = 0; c < dy.cols(); ++c)
+          if (layer.pre_act(r, c) <= 0.0F) dy(r, c) = 0.0F;
+    }
+    // Optional TASD approximation of the upstream gradient (paper §6.2:
+    // gradients are sparse/skewed during training; decompose them to cut
+    // the backward GEMM work). Blocks along the output-feature dim.
+    const MatrixF* dy_used = &dy;
+    MatrixF dy_approx;
+    if (hooks.gradients) {
+      dy_approx = approximate(dy.transposed(), *hooks.gradients).transposed();
+      dy_used = &dy_approx;
+    }
+    // Optional TASD approximation of the stored activations feeding dW.
+    const MatrixF* x_used = &layer.input;
+    MatrixF x_approx;
+    if (hooks.activations) {
+      x_approx =
+          approximate(layer.input.transposed(), *hooks.activations)
+              .transposed();
+      x_used = &x_approx;
+    }
+
+    // dW = dY * X^T, db = row-sums of dY, dX = W^T * dY.
+    if (grad_w_[li].empty()) {
+      grad_w_[li] = MatrixF(layer.weight.rows(), layer.weight.cols());
+      grad_b_[li].assign(layer.weight.rows(), 0.0F);
+    }
+    gemm_ref_accumulate(*dy_used, x_used->transposed(), grad_w_[li]);
+    for (Index r = 0; r < dy_used->rows(); ++r)
+      for (Index c = 0; c < dy_used->cols(); ++c)
+        grad_b_[li][r] += (*dy_used)(r, c);
+    if (li > 0) dy = gemm_ref(layer.weight.transposed(), *dy_used);
+  }
+}
+
+void Mlp::step(double lr) {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    if (grad_w_[li].empty()) continue;
+    auto wf = layers_[li].weight.flat();
+    auto gf = grad_w_[li].flat();
+    for (Index i = 0; i < wf.size(); ++i)
+      wf[i] -= static_cast<float>(lr) * gf[i];
+    for (Index r = 0; r < layers_[li].bias.size(); ++r)
+      layers_[li].bias[r] -= static_cast<float>(lr) * grad_b_[li][r];
+    grad_w_[li] = MatrixF();
+    grad_b_[li].clear();
+  }
+}
+
+std::vector<Index> Mlp::predict(const MatrixF& x) {
+  const MatrixF logits = forward(x);
+  std::vector<Index> out;
+  out.reserve(logits.cols());
+  for (Index c = 0; c < logits.cols(); ++c) {
+    Index best = 0;
+    for (Index r = 1; r < logits.rows(); ++r)
+      if (logits(r, c) > logits(best, c)) best = r;
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace tasd::train

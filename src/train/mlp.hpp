@@ -1,0 +1,80 @@
+// Minimal trainable MLP with explicit forward/backward — the substrate
+// for the paper's §6.2 future-work experiment: using TASD to approximate
+// activations and gradients *during training*.
+//
+// Scope: fully-connected ReLU layers + softmax cross-entropy, plain SGD.
+// Deliberately no autograd framework; the backward pass is written out
+// so the TASD hooks (decompose the activation/gradient operands of the
+// backward GEMMs) are explicit and auditable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::train {
+
+/// Where TASD approximation is applied inside the training step.
+struct TasdTrainingHooks {
+  /// Decompose the stored forward activations consumed by the weight-
+  /// gradient GEMM (dW = dY · X^T): X is replaced by its approximation.
+  std::optional<TasdConfig> activations;
+  /// Decompose the upstream gradient consumed by both backward GEMMs.
+  std::optional<TasdConfig> gradients;
+};
+
+/// One fully-connected layer with ReLU (hidden) or identity (output).
+struct DenseLayer {
+  MatrixF weight;      // (out x in)
+  std::vector<float> bias;
+  bool relu = true;
+
+  // Saved by forward() for the backward pass.
+  MatrixF input;       // (in x batch)
+  MatrixF pre_act;     // (out x batch)
+};
+
+/// A small MLP classifier.
+class Mlp {
+ public:
+  /// Layer sizes, e.g. {in, hidden, hidden, classes}.
+  Mlp(const std::vector<Index>& sizes, std::uint64_t seed);
+
+  /// Forward pass; input is (features x batch). Returns logits
+  /// (classes x batch). Saves intermediates for backward().
+  MatrixF forward(const MatrixF& x);
+
+  /// Softmax cross-entropy loss against integer labels; also writes the
+  /// logits gradient into `dlogits`.
+  static double softmax_ce_loss(const MatrixF& logits,
+                                const std::vector<Index>& labels,
+                                MatrixF& dlogits);
+
+  /// Backward pass from the logits gradient; accumulates weight/bias
+  /// gradients. TASD hooks approximate the backward GEMM operands.
+  void backward(const MatrixF& dlogits, const TasdTrainingHooks& hooks);
+
+  /// SGD update with the accumulated gradients, then clears them.
+  void step(double lr);
+
+  [[nodiscard]] const std::vector<DenseLayer>& layers() const {
+    return layers_;
+  }
+
+  /// Mutable layer access (weight surgery: pruning, finite-difference
+  /// verification).
+  [[nodiscard]] std::vector<DenseLayer>& layers_mutable() { return layers_; }
+
+  /// Predicted class per column of x.
+  std::vector<Index> predict(const MatrixF& x);
+
+ private:
+  std::vector<DenseLayer> layers_;
+  std::vector<MatrixF> grad_w_;
+  std::vector<std::vector<float>> grad_b_;
+};
+
+}  // namespace tasd::train

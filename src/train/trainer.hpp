@@ -1,0 +1,52 @@
+// Training-loop harness for the §6.2 future-work experiment: does TASD-
+// approximating the backward-pass operands (stored activations and/or
+// upstream gradients) preserve training convergence?
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "train/mlp.hpp"
+
+namespace tasd::train {
+
+/// A synthetic classification task: Gaussian class prototypes + noise.
+/// Linearly-separable-ish but not trivial (noise scale ~ prototype
+/// scale), so training accuracy moves meaningfully over epochs.
+///
+/// The prototypes are derived from `proto_seed` and the per-sample draws
+/// from `sample_seed`; train/test splits of one task share the former
+/// and differ in the latter.
+struct Dataset {
+  MatrixF inputs;              // (features x samples)
+  std::vector<Index> labels;   // one per column
+
+  static Dataset synthetic(Index features, Index classes, Index samples,
+                           double noise, std::uint64_t proto_seed,
+                           std::uint64_t sample_seed);
+};
+
+/// Training configuration.
+struct TrainOptions {
+  Index epochs = 20;
+  Index batch = 32;
+  double lr = 0.1;
+  TasdTrainingHooks hooks;  ///< TASD applied inside backward
+};
+
+/// Per-epoch training trace.
+struct TrainResult {
+  std::vector<double> loss_per_epoch;
+  std::vector<double> train_accuracy_per_epoch;
+  double final_test_accuracy = 0.0;
+  std::string hook_description;
+};
+
+/// Train `mlp` on `train_set`, evaluate on `test_set`.
+TrainResult train(Mlp& mlp, const Dataset& train_set,
+                  const Dataset& test_set, const TrainOptions& opt);
+
+/// Classification accuracy of the model on a dataset.
+double accuracy(Mlp& mlp, const Dataset& data);
+
+}  // namespace tasd::train

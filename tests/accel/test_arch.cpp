@@ -1,0 +1,65 @@
+#include "accel/arch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd::accel {
+namespace {
+
+TEST(Arch, PaperDesignRoster) {
+  const auto designs = ArchConfig::paper_designs();
+  ASSERT_EQ(designs.size(), 6u);
+  EXPECT_EQ(designs[0].name, "TC");
+  EXPECT_EQ(designs[1].name, "DSTC");
+  EXPECT_EQ(designs[5].name, "TTC-VEGETA-M8");
+}
+
+TEST(Arch, AllDesignsShareComputeBudget) {
+  // Paper §5.1: same PEs across designs for fairness.
+  const auto designs = ArchConfig::paper_designs();
+  for (const auto& d : designs)
+    EXPECT_EQ(d.macs_per_cycle(), designs[0].macs_per_cycle());
+}
+
+TEST(Arch, VegetaM8SupportsTable2Series) {
+  const auto a = ArchConfig::ttc_vegeta_m8();
+  EXPECT_TRUE(a.supports(TasdConfig::parse("1:8")));
+  EXPECT_TRUE(a.supports(TasdConfig::parse("4:8+1:8")));
+  EXPECT_TRUE(a.supports(TasdConfig::parse("4:8+2:8")));
+  EXPECT_FALSE(a.supports(TasdConfig::parse("3:8")));       // not native
+  EXPECT_FALSE(a.supports(TasdConfig::parse("2:4")));       // wrong M
+  EXPECT_FALSE(a.supports(TasdConfig::parse("4:8+2:8+1:8")));  // > 2 terms
+}
+
+TEST(Arch, StcM4SingleTermOnly) {
+  const auto a = ArchConfig::ttc_stc_m4();
+  EXPECT_TRUE(a.supports(TasdConfig::parse("2:4")));
+  EXPECT_FALSE(a.supports(TasdConfig::parse("1:4")));
+  EXPECT_FALSE(a.supports(TasdConfig::parse("2:4+2:4")));
+}
+
+TEST(Arch, DenseAndDstcSupportNoSeries) {
+  EXPECT_FALSE(ArchConfig::dense_tc().supports(TasdConfig::parse("2:4")));
+  EXPECT_FALSE(ArchConfig::dstc().supports(TasdConfig::parse("2:4")));
+}
+
+TEST(Arch, BlockSize) {
+  EXPECT_EQ(ArchConfig::ttc_vegeta_m8().block_size(), 8);
+  EXPECT_EQ(ArchConfig::ttc_stc_m4().block_size(), 4);
+  EXPECT_EQ(ArchConfig::dense_tc().block_size(), 0);
+}
+
+TEST(Arch, NoTasdVariantKeepsPatterns) {
+  const auto a = ArchConfig::vegeta_m8_no_tasd();
+  EXPECT_FALSE(a.has_tasd_units);
+  EXPECT_TRUE(a.supports(TasdConfig::parse("2:8")));
+}
+
+TEST(Arch, TileDims) {
+  const auto a = ArchConfig::dense_tc();
+  EXPECT_EQ(a.tile_m(), 32u);
+  EXPECT_EQ(a.tile_n(), 32u);
+  EXPECT_EQ(a.macs_per_cycle(), 1024u);
+}
+
+}  // namespace
+}  // namespace tasd::accel

@@ -1,0 +1,68 @@
+#include "accel/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/workloads.hpp"
+#include "tasder/workload_opt.hpp"
+
+namespace tasd::accel {
+namespace {
+
+TEST(NetworkSim, AggregatesRepeats) {
+  dnn::GemmWorkload l;
+  l.m = 64;
+  l.k = 64;
+  l.n = 64;
+  l.repeat = 3;
+  const auto arch = ArchConfig::dense_tc();
+  const NetworkSim one =
+      simulate_network(arch, {{l, {}, {}, {}}}, "one");
+  dnn::GemmWorkload single = l;
+  single.repeat = 1;
+  const NetworkSim base =
+      simulate_network(arch, {{single, {}, {}, {}}}, "base");
+  EXPECT_DOUBLE_EQ(one.cycles, 3.0 * base.cycles);
+  EXPECT_DOUBLE_EQ(one.energy_pj, 3.0 * base.energy_pj);
+}
+
+TEST(NetworkSim, EnergyComponentsSumToTotal) {
+  const auto net = dnn::resnet50_workload(false, 42);
+  const auto arch = ArchConfig::dense_tc();
+  const NetworkSim sim = simulate_network(
+      arch, tasder::plain_executions(net), net.name);
+  double sum = 0.0;
+  for (double e : sim.energy_by_component) sum += e;
+  EXPECT_NEAR(sum, sim.energy_pj, sim.energy_pj * 1e-9);
+}
+
+TEST(NetworkSim, NormalizedEdpOfBaselineIsOne) {
+  const auto net = dnn::bert_workload(false, 42);
+  const auto arch = ArchConfig::dense_tc();
+  const NetworkSim sim =
+      simulate_network(arch, tasder::plain_executions(net), net.name);
+  EXPECT_DOUBLE_EQ(normalized_edp(sim, sim), 1.0);
+}
+
+TEST(NetworkSim, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({8.0}), 8.0);
+  EXPECT_THROW(geomean({}), tasd::Error);
+  EXPECT_THROW(geomean({1.0, 0.0}), tasd::Error);
+}
+
+TEST(NetworkSim, TtcBeatsTcOnSparseResnet) {
+  // The headline claim, at network scale with TASDER decisions.
+  const auto net = dnn::resnet50_workload(true, 42);
+  const auto tc = ArchConfig::dense_tc();
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const auto baseline =
+      simulate_network(tc, tasder::plain_executions(net), net.name);
+  const auto execs =
+      tasder::optimize_workload(net, tasder::hw_profile_from(ttc));
+  const auto sim = simulate_network(ttc, execs, net.name);
+  // Paper Fig. 12: ~83 % EDP reduction; require at least 60 % here.
+  EXPECT_LT(normalized_edp(sim, baseline), 0.4);
+}
+
+}  // namespace
+}  // namespace tasd::accel

@@ -1,0 +1,170 @@
+#include "accel/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd::accel {
+namespace {
+
+/// A mid-network conv layer: compute-bound on all designs.
+dnn::GemmWorkload conv_layer(double w_density, double a_density,
+                             bool act_relu = true) {
+  dnn::GemmWorkload l;
+  l.name = "test";
+  l.m = 256;
+  l.k = 2304;
+  l.n = 784;
+  l.weight_density = w_density;
+  l.act_density = a_density;
+  l.act_pseudo_density = act_relu ? a_density * 0.9 : 0.4;
+  l.act_relu = act_relu;
+  return l;
+}
+
+TEST(PerfModel, DenseTcBaselineCycles) {
+  const auto arch = ArchConfig::dense_tc();
+  const LayerSim sim = simulate_layer(arch, {conv_layer(1.0, 1.0), {}, {}, {}});
+  // ceil(256/32)*ceil(784/32)*2304 = 8*25*2304.
+  EXPECT_DOUBLE_EQ(sim.compute_cycles, 8.0 * 25.0 * 2304.0);
+  EXPECT_GT(sim.total_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.effectual_macs, 256.0 * 2304.0 * 784.0);
+}
+
+TEST(PerfModel, DenseTcIgnoresSparsity) {
+  const auto arch = ArchConfig::dense_tc();
+  const LayerSim dense =
+      simulate_layer(arch, {conv_layer(1.0, 1.0), {}, {}, {}});
+  const LayerSim sparse =
+      simulate_layer(arch, {conv_layer(0.05, 0.4), {}, {}, {}});
+  EXPECT_DOUBLE_EQ(dense.cycles, sparse.cycles);
+  EXPECT_DOUBLE_EQ(dense.total_energy(), sparse.total_energy());
+}
+
+TEST(PerfModel, DstcExploitsBothSides) {
+  const auto arch = ArchConfig::dstc();
+  const LayerSim sim =
+      simulate_layer(arch, {conv_layer(0.05, 0.4), {}, {}, {}});
+  EXPECT_NEAR(sim.effectual_macs, 256.0 * 2304.0 * 784.0 * 0.05 * 0.4, 1.0);
+  const LayerSim dense_tc = simulate_layer(ArchConfig::dense_tc(),
+                                           {conv_layer(0.05, 0.4), {}, {}, {}});
+  EXPECT_LT(sim.edp(), dense_tc.edp());
+}
+
+TEST(PerfModel, DstcLosesOnDenseWorkloads) {
+  // Paper Fig. 12: DSTC has worse EDP than TC when operands are dense.
+  const auto dstc = ArchConfig::dstc();
+  const auto tc = ArchConfig::dense_tc();
+  const auto layer = conv_layer(1.0, 1.0, /*act_relu=*/false);
+  EXPECT_GT(simulate_layer(dstc, {layer, {}, {}, {}}).edp(),
+            simulate_layer(tc, {layer, {}, {}, {}}).edp());
+}
+
+TEST(PerfModel, TtcWithoutConfigRunsDense) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const auto tc = ArchConfig::dense_tc();
+  const auto layer = conv_layer(0.05, 0.4);
+  const LayerSim a = simulate_layer(ttc, {layer, {}, {}, {}});
+  const LayerSim b = simulate_layer(tc, {layer, {}, {}, {}});
+  EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+}
+
+TEST(PerfModel, TasdWCutsCyclesBySeriesDensity) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const auto layer = conv_layer(0.05, 0.4);
+  const LayerSim dense = simulate_layer(ttc, {layer, {}, {}, {}});
+  LayerExecution exec{layer, TasdConfig::parse("2:8"), {}, {}};
+  const LayerSim sim = simulate_layer(ttc, exec);
+  EXPECT_NEAR(sim.compute_cycles / dense.compute_cycles, 0.25, 1e-9);
+  EXPECT_LT(sim.edp(), dense.edp());
+}
+
+TEST(PerfModel, UnsupportedSeriesRejected) {
+  const auto ttc = ArchConfig::ttc_stc_m4();
+  LayerExecution exec{conv_layer(0.05, 0.4), TasdConfig::parse("2:8"), {}, {}};
+  EXPECT_THROW(simulate_layer(ttc, exec), tasd::Error);
+}
+
+TEST(PerfModel, BothSparsitiesConcurrentlyRejected) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  LayerExecution exec{conv_layer(0.5, 0.5), TasdConfig::parse("2:8"),
+                      TasdConfig::parse("2:8"), {}};
+  EXPECT_THROW(simulate_layer(ttc, exec), tasd::Error);
+}
+
+TEST(PerfModel, GatingSavesMacEnergyOnSparseActs) {
+  // TASD-W with sparse activations gates ineffectual MACs: energy falls
+  // with activation density, cycles do not (paper §5.3).
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  LayerExecution wet{conv_layer(0.05, 0.8), TasdConfig::parse("2:8"), {}, {}};
+  LayerExecution dry{conv_layer(0.05, 0.2), TasdConfig::parse("2:8"), {}, {}};
+  const LayerSim sim_wet = simulate_layer(ttc, wet);
+  const LayerSim sim_dry = simulate_layer(ttc, dry);
+  EXPECT_DOUBLE_EQ(sim_wet.compute_cycles, sim_dry.compute_cycles);
+  EXPECT_GT(sim_wet.energy_pj[static_cast<std::size_t>(Component::kMac)],
+            sim_dry.energy_pj[static_cast<std::size_t>(Component::kMac)]);
+}
+
+TEST(PerfModel, TasdAChargesTasdUnitEnergy) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  LayerExecution exec{conv_layer(1.0, 0.4), {}, TasdConfig::parse("2:8"), {}};
+  const LayerSim sim = simulate_layer(ttc, exec);
+  EXPECT_GT(sim.energy_pj[static_cast<std::size_t>(Component::kTasdUnit)],
+            0.0);
+  // TASD-W must not charge the unit (offline decomposition).
+  LayerExecution wexec{conv_layer(0.05, 0.4), TasdConfig::parse("2:8"), {}, {}};
+  EXPECT_DOUBLE_EQ(simulate_layer(ttc, wexec)
+                       .energy_pj[static_cast<std::size_t>(Component::kTasdUnit)],
+                   0.0);
+}
+
+TEST(PerfModel, ExtraTermPaysL1Reaccumulation) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const auto layer = conv_layer(0.05, 0.4);
+  LayerExecution one{layer, TasdConfig::parse("4:8"), {}, {}};
+  LayerExecution two{layer, TasdConfig::parse("2:8+2:8"), {}, {}};
+  // Same slot density (0.5): compute cycles equal...
+  const LayerSim s1 = simulate_layer(ttc, one);
+  const LayerSim s2 = simulate_layer(ttc, two);
+  EXPECT_DOUBLE_EQ(s1.compute_cycles, s2.compute_cycles);
+  // ...but the two-term series re-reads/writes C tiles at L1.
+  EXPECT_GT(s2.energy_pj[static_cast<std::size_t>(Component::kL1)],
+            s1.energy_pj[static_cast<std::size_t>(Component::kL1)]);
+}
+
+TEST(PerfModel, MemoryBoundLayerLimitedByDram) {
+  // A reduction-heavy single-tile layer streams M*K + K*N operand
+  // elements for only K compute cycles: DRAM-bound.
+  dnn::GemmWorkload fc;
+  fc.m = 32;
+  fc.k = 65536;
+  fc.n = 32;
+  const LayerSim sim =
+      simulate_layer(ArchConfig::dense_tc(), {fc, {}, {}, {}});
+  EXPECT_GT(sim.memory_cycles, sim.compute_cycles);
+  EXPECT_DOUBLE_EQ(sim.cycles, sim.memory_cycles);
+}
+
+TEST(PerfModel, GeluActsFillAllSlots) {
+  // For GELU (dense) activations, TASD-A slots are fully occupied: the
+  // effectual MACs equal the slot MACs.
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  LayerExecution exec{conv_layer(1.0, 1.0, /*act_relu=*/false),
+                      {}, TasdConfig::parse("4:8"), {}};
+  const LayerSim sim = simulate_layer(ttc, exec);
+  EXPECT_NEAR(sim.effectual_macs, sim.slot_macs, sim.slot_macs * 1e-9);
+}
+
+TEST(PerfModel, WeightKeptFractionOverridesAnalyticEstimate) {
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const auto layer = conv_layer(0.05, 1.0);
+  LayerExecution analytic{layer, TasdConfig::parse("2:8"), {}, {}};
+  LayerExecution measured{layer, TasdConfig::parse("2:8"), {}, 0.03};
+  const double mac_a = simulate_layer(ttc, analytic)
+                           .energy_pj[static_cast<std::size_t>(Component::kMac)];
+  const double mac_m = simulate_layer(ttc, measured)
+                           .energy_pj[static_cast<std::size_t>(Component::kMac)];
+  EXPECT_GT(mac_a, mac_m);  // 0.05 kept (analytic) vs 0.03 (measured)
+}
+
+}  // namespace
+}  // namespace tasd::accel

@@ -1,0 +1,133 @@
+// Property sweeps over the analytical performance model.
+#include <gtest/gtest.h>
+
+#include "accel/perf_model.hpp"
+
+namespace tasd::accel {
+namespace {
+
+dnn::GemmWorkload layer(double wd, double ad, bool relu = true) {
+  dnn::GemmWorkload l;
+  l.m = 256;
+  l.k = 2304;
+  l.n = 784;
+  l.weight_density = wd;
+  l.act_density = ad;
+  l.act_pseudo_density = relu ? ad * 0.9 : 0.4;
+  l.act_relu = relu;
+  return l;
+}
+
+// ---- TTC: EDP decreases (weakly) as the series gets sparser.
+class TtcSeriesSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TtcSeriesSweep, SparserSeriesNeverWorse) {
+  const double wd = GetParam();
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  const char* ordered[] = {"4:8+2:8", "4:8+1:8", "4:8", "2:8+1:8", "2:8",
+                           "1:8"};
+  double prev = 1e300;
+  for (const char* cfg : ordered) {
+    LayerExecution exec{layer(wd, 0.5), TasdConfig::parse(cfg), {}, {}};
+    const double edp = simulate_layer(ttc, exec).edp();
+    EXPECT_LE(edp, prev * (1.0 + 1e-9)) << cfg;
+    prev = edp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightDensities, TtcSeriesSweep,
+                         ::testing::Values(0.02, 0.05, 0.10, 0.25, 0.50));
+
+// ---- DSTC: EDP increases with either operand's density.
+class DstcDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DstcDensitySweep, MonotoneInWeightDensity) {
+  const double ad = GetParam();
+  const auto dstc = ArchConfig::dstc();
+  double prev = 0.0;
+  for (double wd : {0.05, 0.15, 0.35, 0.65, 1.0}) {
+    const double edp =
+        simulate_layer(dstc, {layer(wd, ad), {}, {}, {}}).edp();
+    EXPECT_GE(edp, prev) << "wd=" << wd;
+    prev = edp;
+  }
+}
+
+TEST_P(DstcDensitySweep, MonotoneInActDensity) {
+  const double wd = GetParam();
+  const auto dstc = ArchConfig::dstc();
+  double prev = 0.0;
+  for (double ad : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    const double edp =
+        simulate_layer(dstc, {layer(wd, ad), {}, {}, {}}).edp();
+    EXPECT_GE(edp, prev) << "ad=" << ad;
+    prev = edp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DstcDensitySweep,
+                         ::testing::Values(0.1, 0.4, 0.8));
+
+// ---- invariants across all architectures and shapes.
+struct ShapeCase {
+  Index m, k, n;
+};
+
+class AllArchShapes : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(AllArchShapes, EnergyAndCyclesPositive) {
+  const auto p = GetParam();
+  dnn::GemmWorkload l;
+  l.m = p.m;
+  l.k = p.k;
+  l.n = p.n;
+  l.weight_density = 0.3;
+  l.act_density = 0.5;
+  for (const auto& arch : ArchConfig::paper_designs()) {
+    LayerExecution exec{l, {}, {}, {}};
+    if (arch.kind == HwKind::kTTC)
+      exec.weight_cfg = arch.supported_patterns.size() > 2
+                            ? TasdConfig::parse("2:8")
+                            : TasdConfig{{arch.supported_patterns.front()}};
+    // DSTC/TC ignore configs; strip for them.
+    if (arch.kind != HwKind::kTTC) exec.weight_cfg.reset();
+    const auto sim = simulate_layer(arch, exec);
+    EXPECT_GT(sim.cycles, 0.0) << arch.name;
+    EXPECT_GT(sim.total_energy(), 0.0) << arch.name;
+    EXPECT_GE(sim.cycles, sim.compute_cycles - 1e-9) << arch.name;
+    EXPECT_LE(sim.effectual_macs, sim.slot_macs + 1e-9) << arch.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AllArchShapes,
+    ::testing::Values(ShapeCase{64, 576, 3136}, ShapeCase{1000, 2048, 1},
+                      ShapeCase{768, 768, 128}, ShapeCase{16, 16, 16},
+                      ShapeCase{3072, 768, 128}, ShapeCase{1, 1, 1}));
+
+// ---- TTC with a TASD series never takes more compute cycles than TC.
+TEST(PerfInvariants, TtcComputeBoundedByDense) {
+  const auto tc = ArchConfig::dense_tc();
+  const auto ttc = ArchConfig::ttc_vegeta_m8();
+  for (double wd : {0.05, 0.5}) {
+    const auto l = layer(wd, 0.5);
+    const double dense = simulate_layer(tc, {l, {}, {}, {}}).compute_cycles;
+    for (const char* cfg : {"1:8", "4:8", "4:8+2:8"}) {
+      LayerExecution exec{l, TasdConfig::parse(cfg), {}, {}};
+      EXPECT_LE(simulate_layer(ttc, exec).compute_cycles, dense + 1e-9);
+    }
+  }
+}
+
+// ---- TASD-A stall factor only ever increases cycles.
+TEST(PerfInvariants, StallNeverSpeedsUp) {
+  auto starved = ArchConfig::ttc_vegeta_m8();
+  starved.tasd_units_per_engine = 2;
+  const auto healthy = ArchConfig::ttc_vegeta_m8();
+  LayerExecution exec{layer(1.0, 0.5), {}, TasdConfig::parse("4:8+1:8"), {}};
+  EXPECT_GE(simulate_layer(starved, exec).compute_cycles,
+            simulate_layer(healthy, exec).compute_cycles);
+}
+
+}  // namespace
+}  // namespace tasd::accel

@@ -1,0 +1,75 @@
+#include "accel/tasd_unit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd::accel {
+namespace {
+
+TEST(TasdUnit, PaperExampleFourEightPlusOneEight) {
+  // Paper §4.4: 4:8+1:8 takes 5 extraction cycles (+1 emit in our model);
+  // a 16-column engine with M=8 emits 2 blocks/cycle; 16 units suffice.
+  const auto a = ArchConfig::ttc_vegeta_m8();
+  const auto m = tasd_unit_model(a, TasdConfig::parse("4:8+1:8"));
+  EXPECT_DOUBLE_EQ(m.blocks_per_cycle, 2.0);
+  EXPECT_EQ(m.cycles_per_block, 6);
+  EXPECT_DOUBLE_EQ(m.required_units, 12.0);
+  EXPECT_DOUBLE_EQ(m.stall_factor(), 1.0);
+}
+
+TEST(TasdUnit, LittlesLawBoundary) {
+  // Worst admissible series on M=8: ΣN + 1 = 8 cycles -> exactly 16
+  // units needed (paper: "by Little's law, 16 = 2 x 8").
+  auto a = ArchConfig::ttc_vegeta_m8();
+  a.max_tasd_terms = 3;
+  const auto m = tasd_unit_model(a, TasdConfig::parse("4:8+2:8+1:8"));
+  EXPECT_EQ(m.cycles_per_block, 8);
+  EXPECT_DOUBLE_EQ(m.required_units, 16.0);
+  EXPECT_DOUBLE_EQ(m.stall_factor(), 1.0);
+}
+
+TEST(TasdUnit, UndersizedUnitsStall) {
+  auto a = ArchConfig::ttc_vegeta_m8();
+  a.tasd_units_per_engine = 4;
+  const auto m = tasd_unit_model(a, TasdConfig::parse("4:8+1:8"));
+  EXPECT_GT(m.stall_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(m.stall_factor(), 12.0 / 4.0);
+}
+
+TEST(TasdUnit, M4EngineNeverStallsWithSixteenUnits) {
+  const auto a = ArchConfig::ttc_vegeta_m4();
+  // Heaviest admissible M=4 series: 2:4+1:4 -> 4 cycles, 4 blocks/cycle.
+  const auto m = tasd_unit_model(a, TasdConfig::parse("2:4+1:4"));
+  EXPECT_DOUBLE_EQ(m.blocks_per_cycle, 4.0);
+  EXPECT_LE(m.required_units, 16.0);
+  EXPECT_DOUBLE_EQ(m.stall_factor(), 1.0);
+}
+
+TEST(TasdUnit, RequiresTasdHardware) {
+  const auto a = ArchConfig::vegeta_m8_no_tasd();
+  EXPECT_THROW(tasd_unit_model(a, TasdConfig::parse("2:8")), tasd::Error);
+}
+
+TEST(TasdUnit, MixedBlockSizesRejected) {
+  const auto a = ArchConfig::ttc_vegeta_m8();
+  EXPECT_THROW(tasd_unit_model(a, TasdConfig::parse("2:8+2:4")), tasd::Error);
+}
+
+TEST(TasdArea, UnderTwoPercentOfPeArray) {
+  // Paper §5.4: TASD units cost <= 2 % of the PE area.
+  for (const auto& arch : {ArchConfig::ttc_vegeta_m8(),
+                           ArchConfig::ttc_vegeta_m4(),
+                           ArchConfig::ttc_stc_m8()}) {
+    const auto a = tasd_area_model(arch);
+    EXPECT_GT(a.ratio(), 0.0);
+    EXPECT_LE(a.ratio(), 0.02) << arch.name;
+  }
+}
+
+TEST(TasdArea, LargerBlocksCostMore) {
+  const auto m8 = tasd_area_model(ArchConfig::ttc_vegeta_m8());
+  const auto m4 = tasd_area_model(ArchConfig::ttc_vegeta_m4());
+  EXPECT_GT(m8.tasd_unit_gates, m4.tasd_unit_gates);
+}
+
+}  // namespace
+}  // namespace tasd::accel

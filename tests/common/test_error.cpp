@@ -1,0 +1,31 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd {
+namespace {
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(TASD_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(TASD_CHECK(false), Error);
+}
+
+TEST(Error, MessageContainsExpressionAndLocation) {
+  try {
+    TASD_CHECK_MSG(2 < 1, "custom detail " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, IsRuntimeError) {
+  EXPECT_THROW(TASD_CHECK(false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,46 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "2"});
+  const std::string s = t.str();
+  // Both data rows start their second column at the same offset.
+  const auto l1 = s.find("x");
+  const auto l2 = s.find("longer-name");
+  ASSERT_NE(l1, std::string::npos);
+  ASSERT_NE(l2, std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);  // separator line exists
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, EmptyTableRendersEmpty) {
+  TextTable t;
+  EXPECT_TRUE(t.str().empty());
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,70 @@
+#include "core/approx_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(ApproxStats, CountsAddUp) {
+  Rng rng(71);
+  const MatrixF m = random_unstructured(8, 32, 0.5, Dist::kNormalStd1, rng);
+  const auto s = approx_stats(m, TasdConfig::parse("1:4"));
+  EXPECT_EQ(s.kept_nnz + s.dropped_nnz, s.original_nnz);
+  EXPECT_NEAR(s.kept_magnitude + s.dropped_magnitude, s.original_magnitude,
+              1e-6);
+}
+
+TEST(ApproxStats, LosslessSeriesHasZeroError) {
+  Rng rng(72);
+  const MatrixF m = random_nm_structured(8, 32, 2, 8, Dist::kNormalStd1, rng);
+  const auto s = approx_stats(m, TasdConfig::parse("2:8"));
+  EXPECT_EQ(s.dropped_nnz, 0u);
+  EXPECT_DOUBLE_EQ(s.mse, 0.0);
+  EXPECT_DOUBLE_EQ(s.rel_frobenius_error, 0.0);
+}
+
+TEST(ApproxStats, ZeroMatrixFractionsAreDefined) {
+  const MatrixF m(4, 16);
+  const auto s = approx_stats(m, TasdConfig::parse("1:4"));
+  EXPECT_DOUBLE_EQ(s.dropped_nnz_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.nnz_coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(s.magnitude_coverage(), 1.0);
+}
+
+TEST(ApproxStats, MoreTermsNeverWorse) {
+  Rng rng(73);
+  const MatrixF m = random_unstructured(16, 64, 0.6, Dist::kNormal, rng);
+  const auto s1 = approx_stats(m, TasdConfig::parse("2:4"));
+  const auto s2 = approx_stats(m, TasdConfig::parse("2:4+2:8"));
+  const auto s3 = approx_stats(m, TasdConfig::parse("2:4+2:8+2:16"));
+  EXPECT_LE(s2.dropped_nnz, s1.dropped_nnz);
+  EXPECT_LE(s3.dropped_nnz, s2.dropped_nnz);
+  EXPECT_LE(s2.rel_frobenius_error, s1.rel_frobenius_error + 1e-12);
+  EXPECT_LE(s3.rel_frobenius_error, s2.rel_frobenius_error + 1e-12);
+}
+
+TEST(ApproxStats, MismatchedDecompositionRejected) {
+  Rng rng(74);
+  const MatrixF m = random_dense(4, 8, Dist::kNormalStd1, rng);
+  const MatrixF other = random_dense(4, 16, Dist::kNormalStd1, rng);
+  const auto d = decompose(other, TasdConfig::parse("2:4"));
+  EXPECT_THROW(approx_stats(m, d), Error);
+}
+
+TEST(ApproxStats, SparserMatrixDropsLess) {
+  // Paper Fig. 17 takeaway 1: lower density -> smaller dropped fraction.
+  Rng rng(75);
+  const auto cfg = TasdConfig::parse("2:4+2:8");
+  const MatrixF sparse_m =
+      random_unstructured(64, 128, 0.1, Dist::kNormal, rng);
+  const MatrixF dense_m =
+      random_unstructured(64, 128, 0.7, Dist::kNormal, rng);
+  EXPECT_LT(approx_stats(sparse_m, cfg).dropped_nnz_fraction(),
+            approx_stats(dense_m, cfg).dropped_nnz_fraction());
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,123 @@
+#include "core/block_decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/approx_stats.hpp"
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(BlockPattern, ValidatesAndComputesDensity) {
+  EXPECT_THROW(BlockPattern(0, 4, 1), Error);
+  EXPECT_THROW(BlockPattern(4, 4, 0), Error);
+  const BlockPattern p(4, 4, 2);
+  EXPECT_DOUBLE_EQ(p.density(16), 0.5);  // 2 of 4 tiles per row
+  EXPECT_DOUBLE_EQ(p.density(4), 1.0);   // keep >= tiles: clamped
+}
+
+TEST(SplitBlock, KeepsHighestNormTiles) {
+  // 4x8 matrix, 4x4 tiles: right tile much larger norm.
+  MatrixF m(4, 8);
+  for (Index r = 0; r < 4; ++r) {
+    m(r, 1) = 0.1F;   // left tile: small
+    m(r, 5) = 10.0F;  // right tile: large
+  }
+  const auto split = split_block(m, BlockPattern(4, 4, 1));
+  EXPECT_EQ(split.view(0, 5), 10.0F);
+  EXPECT_EQ(split.view(0, 1), 0.0F);
+  EXPECT_EQ(split.residual(0, 1), 0.1F);
+  EXPECT_EQ(split.residual(0, 5), 0.0F);
+}
+
+TEST(SplitBlock, ExactReconstruction) {
+  Rng rng(81);
+  const MatrixF m = random_unstructured(16, 24, 0.5, Dist::kNormalStd1, rng);
+  const auto split = split_block(m, BlockPattern(4, 8, 1));
+  MatrixF sum = split.view;
+  sum += split.residual;
+  EXPECT_EQ(sum, m);
+}
+
+TEST(SplitBlock, EmptyTilesNotWastedOnKeepBudget) {
+  // An all-zero tile must not consume a keep slot... it may, but moving
+  // it is a no-op; what matters is that zero-norm tiles never displace
+  // real content into the residual.
+  MatrixF m(4, 16);
+  m(0, 13) = 5.0F;  // only tile 3 has content
+  const auto split = split_block(m, BlockPattern(4, 4, 1));
+  EXPECT_EQ(split.view(0, 13), 5.0F);
+  EXPECT_TRUE(split.residual.nnz() == 0u);
+}
+
+TEST(SplitBlock, RaggedEdges) {
+  Rng rng(82);
+  // 6 rows, 10 cols with 4x4 tiles: ragged in both dims.
+  const MatrixF m = random_dense(6, 10, Dist::kNormalStd1, rng);
+  const auto split = split_block(m, BlockPattern(4, 4, 2));
+  MatrixF sum = split.view;
+  sum += split.residual;
+  EXPECT_EQ(sum, m);
+}
+
+TEST(HybridDecompose, ExactnessAndComposition) {
+  Rng rng(83);
+  const MatrixF m = random_unstructured(16, 32, 0.6, Dist::kNormalStd1, rng);
+  const auto h = hybrid_decompose(m, {BlockPattern(4, 8, 1)},
+                                  TasdConfig::parse("1:8"));
+  EXPECT_EQ(h.block_terms.size(), 1u);
+  EXPECT_EQ(h.nm_terms.size(), 1u);
+  EXPECT_EQ(h.reconstruct_exact(), m);
+}
+
+TEST(HybridDecompose, TermsDisjoint) {
+  Rng rng(84);
+  const MatrixF m = random_dense(8, 16, Dist::kNormalStd1, rng);
+  const auto h = hybrid_decompose(m, {BlockPattern(4, 4, 2)},
+                                  TasdConfig::parse("2:8"));
+  for (Index i = 0; i < m.size(); ++i) {
+    int holders = 0;
+    for (const auto& t : h.block_terms)
+      if (t.dense.flat()[i] != 0.0F) ++holders;
+    for (const auto& t : h.nm_terms)
+      if (t.dense.flat()[i] != 0.0F) ++holders;
+    EXPECT_LE(holders, 1);
+  }
+}
+
+TEST(HybridDecompose, BlockTermHelpsClusteredSparsity) {
+  // Clustered non-zeros (a dense 4x8 patch in a sparse sea): one block
+  // term captures the cluster; a pure N:M series of the same density
+  // cannot.
+  Rng rng(85);
+  MatrixF m(16, 64);
+  for (Index r = 4; r < 8; ++r)
+    for (Index c = 16; c < 24; ++c)
+      m(r, c) = static_cast<float>(rng.normal(0.0, 1.0));
+  // Pure 1:8 series: density 0.125 — drops most of the cluster rows'
+  // content (8 nnz per 8-block, keeps 1).
+  const auto pure = approx_stats(m, TasdConfig::parse("1:8"));
+  // Hybrid with one 4x8 block per tile-row (density 8/64 = 0.125 too).
+  const auto hybrid =
+      hybrid_decompose(m, {BlockPattern(4, 8, 1)}, TasdConfig{});
+  EXPECT_TRUE(hybrid.lossless());
+  EXPECT_GT(pure.dropped_nnz, 0u);
+}
+
+TEST(HybridDecompose, NoBlocksEqualsPlainDecompose) {
+  Rng rng(86);
+  const MatrixF m = random_unstructured(8, 32, 0.4, Dist::kNormalStd1, rng);
+  const auto cfg = TasdConfig::parse("2:8+1:8");
+  const auto h = hybrid_decompose(m, {}, cfg);
+  const auto d = decompose(m, cfg);
+  EXPECT_EQ(h.residual, d.residual);
+  ASSERT_EQ(h.nm_terms.size(), d.terms.size());
+  for (std::size_t i = 0; i < d.terms.size(); ++i)
+    EXPECT_EQ(h.nm_terms[i].dense, d.terms[i].dense);
+}
+
+}  // namespace
+}  // namespace tasd

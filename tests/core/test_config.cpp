@@ -1,0 +1,71 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(TasdConfig, ParseSingleTerm) {
+  const auto cfg = TasdConfig::parse("2:4");
+  ASSERT_EQ(cfg.order(), 1u);
+  EXPECT_EQ(cfg.terms[0], sparse::NMPattern(2, 4));
+  EXPECT_EQ(cfg.str(), "2:4");
+}
+
+TEST(TasdConfig, ParseSeries) {
+  const auto cfg = TasdConfig::parse("4:8+1:8");
+  ASSERT_EQ(cfg.order(), 2u);
+  EXPECT_EQ(cfg.terms[0], sparse::NMPattern(4, 8));
+  EXPECT_EQ(cfg.terms[1], sparse::NMPattern(1, 8));
+  EXPECT_EQ(cfg.str(), "4:8+1:8");
+}
+
+TEST(TasdConfig, ParseThreeTerms) {
+  const auto cfg = TasdConfig::parse("2:4+2:8+2:16");
+  ASSERT_EQ(cfg.order(), 3u);
+  EXPECT_DOUBLE_EQ(cfg.max_density(), 0.5 + 0.25 + 0.125);
+}
+
+TEST(TasdConfig, ParseRejectsMalformed) {
+  EXPECT_THROW(TasdConfig::parse("2:4+"), Error);
+  EXPECT_THROW(TasdConfig::parse("+2:4"), Error);
+  EXPECT_THROW(TasdConfig::parse("2:4++1:8"), Error);
+  EXPECT_THROW(TasdConfig::parse("garbage"), Error);
+}
+
+TEST(TasdConfig, MaxDensityClampsAtOne) {
+  const auto cfg = TasdConfig::parse("4:4+4:4");
+  EXPECT_DOUBLE_EQ(cfg.max_density(), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.approximated_sparsity(), 0.0);
+}
+
+TEST(TasdConfig, ApproximatedSparsity) {
+  EXPECT_DOUBLE_EQ(TasdConfig::parse("4:8+1:8").approximated_sparsity(),
+                   1.0 - 5.0 / 8.0);
+  // 1:4 and 2:8 share the approximated sparsity.
+  EXPECT_DOUBLE_EQ(TasdConfig::parse("1:4").approximated_sparsity(),
+                   TasdConfig::parse("2:8").approximated_sparsity());
+}
+
+TEST(TasdConfig, ExtractionCyclesIsSumOfNs) {
+  // Paper §4.4: the 4:8+1:8 configuration takes 5 extraction cycles.
+  EXPECT_EQ(TasdConfig::parse("4:8+1:8").extraction_cycles_per_block(), 5);
+  EXPECT_EQ(TasdConfig::parse("2:4").extraction_cycles_per_block(), 2);
+}
+
+TEST(TasdConfig, EmptyConfig) {
+  TasdConfig empty;
+  EXPECT_EQ(empty.order(), 0u);
+  EXPECT_EQ(empty.str(), "<empty>");
+  EXPECT_DOUBLE_EQ(empty.max_density(), 0.0);
+}
+
+TEST(TasdConfig, Equality) {
+  EXPECT_EQ(TasdConfig::parse("2:4+2:8"), TasdConfig::parse("2:4+2:8"));
+  EXPECT_FALSE(TasdConfig::parse("2:4+2:8") == TasdConfig::parse("2:8+2:4"));
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,112 @@
+#include "core/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/pattern.hpp"
+#include "sparse/view.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(Decompose, SingleTermMatchesView) {
+  Rng rng(61);
+  const MatrixF m = random_unstructured(8, 32, 0.6, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:4"));
+  ASSERT_EQ(d.terms.size(), 1u);
+  EXPECT_EQ(d.terms[0].dense, sparse::nm_view(m, sparse::NMPattern(2, 4)));
+}
+
+TEST(Decompose, TermsAreDisjointSupports) {
+  Rng rng(62);
+  const MatrixF m = random_dense(8, 32, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:8+2:8+2:8"));
+  // Every position is non-zero in at most one term.
+  for (Index i = 0; i < m.size(); ++i) {
+    int holders = 0;
+    for (const auto& t : d.terms)
+      if (t.dense.flat()[i] != 0.0F) ++holders;
+    EXPECT_LE(holders, 1);
+  }
+}
+
+TEST(Decompose, SuccessiveTermsTakeSmallerMagnitudes) {
+  Rng rng(63);
+  const MatrixF m = random_dense(4, 32, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:8+2:8"));
+  // Per block, the smallest |v| kept by term 1 dominates the largest |v|
+  // kept by term 2 (greedy extraction from the residual).
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index b = 0; b < m.cols(); b += 8) {
+      float min_t1 = 1e30F;
+      float max_t2 = 0.0F;
+      for (Index i = b; i < b + 8; ++i) {
+        const float v1 = std::fabs(d.terms[0].dense(r, i));
+        const float v2 = std::fabs(d.terms[1].dense(r, i));
+        if (v1 > 0.0F) min_t1 = std::min(min_t1, v1);
+        max_t2 = std::max(max_t2, v2);
+      }
+      EXPECT_GE(min_t1, max_t2);
+    }
+  }
+}
+
+TEST(Decompose, EmptyConfigKeepsAllInResidual) {
+  Rng rng(64);
+  const MatrixF m = random_dense(4, 8, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig{});
+  EXPECT_TRUE(d.terms.empty());
+  EXPECT_EQ(d.residual, m);
+  EXPECT_EQ(d.approximation(), MatrixF(4, 8));
+}
+
+TEST(Decompose, LosslessWhenMatrixAlreadyConforming) {
+  Rng rng(65);
+  const MatrixF m = random_nm_structured(8, 32, 2, 4, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:4"));
+  EXPECT_TRUE(d.lossless());
+  EXPECT_EQ(d.approximation(), m);
+}
+
+TEST(Decompose, MixedBlockSizesAcrossTerms) {
+  Rng rng(66);
+  const MatrixF m = random_dense(4, 16, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:4+2:8+2:16"));
+  ASSERT_EQ(d.terms.size(), 3u);
+  EXPECT_TRUE(sparse::satisfies(d.terms[0].dense, sparse::NMPattern(2, 4)));
+  EXPECT_TRUE(sparse::satisfies(d.terms[1].dense, sparse::NMPattern(2, 8)));
+  EXPECT_TRUE(sparse::satisfies(d.terms[2].dense, sparse::NMPattern(2, 16)));
+}
+
+TEST(Decompose, ApproximationPlusResidualReconstructs) {
+  Rng rng(67);
+  const MatrixF m = random_unstructured(16, 40, 0.7, Dist::kNormal, rng);
+  const auto d = decompose(m, TasdConfig::parse("1:4+1:8"));
+  EXPECT_EQ(d.reconstruct_exact(), m);
+}
+
+TEST(Decompose, CompressedTermRoundTrips) {
+  Rng rng(68);
+  const MatrixF m = random_unstructured(8, 24, 0.5, Dist::kNormalStd1, rng);
+  const auto d = decompose(m, TasdConfig::parse("2:4"));
+  const auto compressed = d.terms[0].compressed();
+  EXPECT_EQ(compressed.to_dense(), d.terms[0].dense);
+}
+
+TEST(Approximate, MatchesDecomposeApproximation) {
+  Rng rng(69);
+  const MatrixF m = random_dense(4, 16, Dist::kNormalStd1, rng);
+  const auto cfg = TasdConfig::parse("4:8+1:8");
+  EXPECT_EQ(approximate(m, cfg), decompose(m, cfg).approximation());
+}
+
+TEST(Decompose, AllZeroMatrixIsTriviallyLossless) {
+  const MatrixF m(4, 16);
+  const auto d = decompose(m, TasdConfig::parse("1:8"));
+  EXPECT_TRUE(d.lossless());
+  EXPECT_EQ(d.terms[0].dense.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace tasd

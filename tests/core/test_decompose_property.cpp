@@ -1,0 +1,132 @@
+// Property tests: decomposition invariants swept over configurations,
+// densities, shapes, and distributions (TEST_P).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/approx_stats.hpp"
+#include "core/decompose.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd {
+namespace {
+
+struct PropertyCase {
+  const char* config;
+  double density;
+  Index rows;
+  Index cols;
+  Dist dist;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << c.config << " d=" << c.density << " " << c.rows << "x" << c.cols;
+}
+
+class DecomposeProperty : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  MatrixF make_matrix() const {
+    const auto& p = GetParam();
+    Rng rng(1234 + static_cast<std::uint64_t>(p.density * 100) + p.cols);
+    return random_unstructured(p.rows, p.cols, p.density, p.dist, rng);
+  }
+};
+
+TEST_P(DecomposeProperty, ExactReconstruction) {
+  const MatrixF m = make_matrix();
+  const auto d = decompose(m, TasdConfig::parse(GetParam().config));
+  EXPECT_EQ(d.reconstruct_exact(), m);
+}
+
+TEST_P(DecomposeProperty, EveryTermSatisfiesItsPattern) {
+  const MatrixF m = make_matrix();
+  const auto cfg = TasdConfig::parse(GetParam().config);
+  const auto d = decompose(m, cfg);
+  ASSERT_EQ(d.terms.size(), cfg.terms.size());
+  for (std::size_t i = 0; i < d.terms.size(); ++i)
+    EXPECT_TRUE(sparse::satisfies(d.terms[i].dense, cfg.terms[i]))
+        << "term " << i;
+}
+
+TEST_P(DecomposeProperty, ResidualShrinksMonotonically) {
+  const MatrixF m = make_matrix();
+  const auto cfg = TasdConfig::parse(GetParam().config);
+  // Peeling one more term never increases the residual nnz or magnitude.
+  Index prev_nnz = m.nnz();
+  double prev_mag = magnitude_sum(m);
+  for (std::size_t k = 1; k <= cfg.terms.size(); ++k) {
+    TasdConfig prefix;
+    prefix.terms.assign(cfg.terms.begin(),
+                        cfg.terms.begin() + static_cast<long>(k));
+    const auto d = decompose(m, prefix);
+    EXPECT_LE(d.residual.nnz(), prev_nnz);
+    EXPECT_LE(magnitude_sum(d.residual), prev_mag + 1e-9);
+    prev_nnz = d.residual.nnz();
+    prev_mag = magnitude_sum(d.residual);
+  }
+}
+
+TEST_P(DecomposeProperty, MagnitudeCoverageDominatesNnzCoverage) {
+  const MatrixF m = make_matrix();
+  const auto stats = approx_stats(m, TasdConfig::parse(GetParam().config));
+  EXPECT_GE(stats.magnitude_coverage() + 1e-12, stats.nnz_coverage());
+}
+
+TEST_P(DecomposeProperty, KeptNnzBoundedBySlotBudget) {
+  const MatrixF m = make_matrix();
+  const auto cfg = TasdConfig::parse(GetParam().config);
+  const auto stats = approx_stats(m, cfg);
+  // The series cannot keep more elements than its slot budget
+  // (max_density * size) nor more than the matrix had.
+  EXPECT_LE(static_cast<double>(stats.kept_nnz),
+            cfg.max_density() * static_cast<double>(m.size()) + 1e-9);
+  EXPECT_LE(stats.kept_nnz, stats.original_nnz);
+}
+
+TEST_P(DecomposeProperty, ApproxErrorEqualsResidualNorm) {
+  const MatrixF m = make_matrix();
+  const auto d = decompose(m, TasdConfig::parse(GetParam().config));
+  const auto stats = approx_stats(m, d);
+  const double ref = frobenius_norm(m);
+  if (ref > 0.0) {
+    EXPECT_NEAR(stats.rel_frobenius_error, frobenius_norm(d.residual) / ref,
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecomposeProperty,
+    ::testing::Values(
+        PropertyCase{"2:4", 0.10, 16, 64, Dist::kNormal},
+        PropertyCase{"2:4", 0.50, 16, 64, Dist::kNormal},
+        PropertyCase{"2:4", 0.90, 16, 64, Dist::kNormal},
+        PropertyCase{"2:4+2:8", 0.25, 16, 64, Dist::kNormal},
+        PropertyCase{"2:4+2:8", 0.75, 16, 64, Dist::kNormal},
+        PropertyCase{"2:4+2:8+2:16", 0.60, 8, 64, Dist::kNormal},
+        PropertyCase{"1:8", 0.05, 32, 64, Dist::kNormalStd1},
+        PropertyCase{"4:8+1:8", 0.50, 16, 48, Dist::kNormalStd1},
+        PropertyCase{"4:8+2:8", 0.95, 8, 40, Dist::kUniform01},
+        PropertyCase{"1:4+1:8", 0.30, 16, 30, Dist::kUniform01},  // ragged
+        PropertyCase{"3:4", 1.00, 8, 32, Dist::kNormalStd1},
+        PropertyCase{"1:16", 0.02, 64, 64, Dist::kNormal}));
+
+// ---- lossless guarantee sweep: if every block has <= N non-zeros, a
+// single N:M term is lossless.
+class LosslessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LosslessProperty, ConformingMatrixDecomposesLosslessly) {
+  const int n = GetParam();
+  Rng rng(777 + n);
+  const MatrixF m =
+      random_nm_structured(16, 64, n, 8, Dist::kNormalStd1, rng);
+  TasdConfig cfg;
+  cfg.terms.push_back(sparse::NMPattern(n, 8));
+  const auto d = decompose(m, cfg);
+  EXPECT_TRUE(d.lossless());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllN, LosslessProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,90 @@
+#include "core/series_enum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd {
+namespace {
+
+std::vector<sparse::NMPattern> vegeta_m8() {
+  return {sparse::NMPattern(1, 8), sparse::NMPattern(2, 8),
+          sparse::NMPattern(4, 8)};
+}
+
+TEST(SeriesEnum, VegetaM8Table2Coverage) {
+  // Paper Table 2: with <= 2 terms, {1,2,4}:8 support reaches effective
+  // N:8 for N in {1,2,3,4,5,6} — 7:8 is unreachable; 8:8 is dense.
+  const auto reachable = reachable_effective_n(vegeta_m8(), 2, 8);
+  EXPECT_EQ(reachable, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SeriesEnum, Table2SpecificSeries) {
+  // 3:8 = 2:8 + 1:8, 5:8 = 4:8 + 1:8, 6:8 = 4:8 + 2:8 (Table 2 rows).
+  auto c3 = config_for_effective_pattern(vegeta_m8(), 2, 3, 8);
+  ASSERT_TRUE(c3);
+  EXPECT_EQ(c3->str(), "2:8+1:8");
+  auto c5 = config_for_effective_pattern(vegeta_m8(), 2, 5, 8);
+  ASSERT_TRUE(c5);
+  EXPECT_EQ(c5->str(), "4:8+1:8");
+  auto c6 = config_for_effective_pattern(vegeta_m8(), 2, 6, 8);
+  ASSERT_TRUE(c6);
+  EXPECT_EQ(c6->str(), "4:8+2:8");
+}
+
+TEST(SeriesEnum, SingleTermPreferredWhenExact) {
+  auto c4 = config_for_effective_pattern(vegeta_m8(), 2, 4, 8);
+  ASSERT_TRUE(c4);
+  EXPECT_EQ(c4->str(), "4:8");  // not 2:8+2:8 (same pattern reuse barred)
+}
+
+TEST(SeriesEnum, SevenEighthsUnreachable) {
+  EXPECT_FALSE(config_for_effective_pattern(vegeta_m8(), 2, 7, 8));
+}
+
+TEST(SeriesEnum, EnumerationSortedMostAggressiveFirst) {
+  const auto configs = enumerate_configs(vegeta_m8(), 2);
+  for (std::size_t i = 1; i < configs.size(); ++i)
+    EXPECT_LE(configs[i - 1].max_density(), configs[i].max_density());
+}
+
+TEST(SeriesEnum, EnumerationCountsForVegeta) {
+  // 3 singles + C(3,2)=3 two-term combos = 6 configs.
+  EXPECT_EQ(enumerate_configs(vegeta_m8(), 2).size(), 6u);
+  EXPECT_EQ(enumerate_configs(vegeta_m8(), 1).size(), 3u);
+  // Full power set minus empty with 3 terms allowed.
+  EXPECT_EQ(enumerate_configs(vegeta_m8(), 3).size(), 7u);
+}
+
+TEST(SeriesEnum, STCStyleSinglePattern) {
+  const std::vector<sparse::NMPattern> stc{sparse::NMPattern(2, 4)};
+  const auto configs = enumerate_configs(stc, 1);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].str(), "2:4");
+  EXPECT_FALSE(config_for_effective_pattern(stc, 1, 1, 4));
+  EXPECT_TRUE(config_for_effective_pattern(stc, 1, 2, 4));
+}
+
+TEST(SeriesEnum, MixedBlockSizesUseExactRationalMatch) {
+  // 2:4 + 2:8 = 0.75 density = effective 6:8.
+  const std::vector<sparse::NMPattern> mixed{sparse::NMPattern(2, 4),
+                                             sparse::NMPattern(2, 8)};
+  auto c = config_for_effective_pattern(mixed, 2, 6, 8);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->str(), "2:4+2:8");
+  // And effective 3:4 is the same density — also reachable.
+  EXPECT_TRUE(config_for_effective_pattern(mixed, 2, 3, 4));
+}
+
+TEST(SeriesEnum, InvalidArgsRejected) {
+  EXPECT_THROW(enumerate_configs(vegeta_m8(), 0), Error);
+  EXPECT_THROW(config_for_effective_pattern(vegeta_m8(), 2, 9, 8), Error);
+}
+
+TEST(SeriesEnum, TermsOrderedDensestFirst) {
+  for (const auto& cfg : enumerate_configs(vegeta_m8(), 2)) {
+    for (std::size_t i = 1; i < cfg.terms.size(); ++i)
+      EXPECT_GE(cfg.terms[i - 1].density(), cfg.terms[i].density());
+  }
+}
+
+}  // namespace
+}  // namespace tasd

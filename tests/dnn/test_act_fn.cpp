@@ -1,0 +1,58 @@
+#include "dnn/act_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasd::dnn {
+namespace {
+
+TEST(ActFn, ReluClipsNegatives) {
+  EXPECT_EQ(apply_act(ActKind::kRelu, -1.5F), 0.0F);
+  EXPECT_EQ(apply_act(ActKind::kRelu, 2.0F), 2.0F);
+  EXPECT_EQ(apply_act(ActKind::kRelu, 0.0F), 0.0F);
+}
+
+TEST(ActFn, Relu6ClipsBothSides) {
+  EXPECT_EQ(apply_act(ActKind::kRelu6, -1.0F), 0.0F);
+  EXPECT_EQ(apply_act(ActKind::kRelu6, 3.0F), 3.0F);
+  EXPECT_EQ(apply_act(ActKind::kRelu6, 9.0F), 6.0F);
+}
+
+TEST(ActFn, GeluNeverExactlyZeroForNegatives) {
+  // The paper's motivation for pseudo-density: GELU outputs are tiny but
+  // non-zero for moderate negative inputs.
+  const float y = apply_act(ActKind::kGelu, -1.0F);
+  EXPECT_NE(y, 0.0F);
+  EXPECT_LT(std::fabs(y), 0.2F);
+}
+
+TEST(ActFn, GeluApproachesIdentityForLargePositive) {
+  EXPECT_NEAR(apply_act(ActKind::kGelu, 5.0F), 5.0F, 1e-3);
+}
+
+TEST(ActFn, SwishProperties) {
+  EXPECT_NEAR(apply_act(ActKind::kSwish, 0.0F), 0.0F, 1e-6);
+  EXPECT_NEAR(apply_act(ActKind::kSwish, 6.0F), 6.0F, 0.02);
+  EXPECT_LT(apply_act(ActKind::kSwish, -1.0F), 0.0F);  // non-monotone dip
+}
+
+TEST(ActFn, NoneIsIdentity) {
+  EXPECT_EQ(apply_act(ActKind::kNone, -3.25F), -3.25F);
+}
+
+TEST(ActFn, SparsityInducingClassification) {
+  EXPECT_TRUE(induces_sparsity(ActKind::kRelu));
+  EXPECT_TRUE(induces_sparsity(ActKind::kRelu6));
+  EXPECT_FALSE(induces_sparsity(ActKind::kGelu));
+  EXPECT_FALSE(induces_sparsity(ActKind::kSwish));
+  EXPECT_FALSE(induces_sparsity(ActKind::kNone));
+}
+
+TEST(ActFn, Names) {
+  EXPECT_EQ(act_name(ActKind::kRelu), "relu");
+  EXPECT_EQ(act_name(ActKind::kGelu), "gelu");
+}
+
+}  // namespace
+}  // namespace tasd::dnn

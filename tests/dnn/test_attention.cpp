@@ -1,0 +1,91 @@
+#include "dnn/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+TEST(Attention, PreservesShape) {
+  Rng rng(121);
+  AttentionLayer attn(16, 4, rng);
+  const MatrixF x = random_dense(16, 6, Dist::kNormalStd1, rng);
+  const Feature out = attn.forward(Feature(MatrixF(x)));
+  EXPECT_EQ(out.matrix().rows(), 16u);
+  EXPECT_EQ(out.matrix().cols(), 6u);
+}
+
+TEST(Attention, RejectsIndivisibleHeads) {
+  Rng rng(122);
+  EXPECT_THROW(AttentionLayer(10, 4, rng), tasd::Error);
+}
+
+TEST(Attention, RejectsWrongFeatureCount) {
+  Rng rng(123);
+  AttentionLayer attn(8, 2, rng);
+  EXPECT_THROW(attn.forward(Feature(MatrixF(6, 3))), tasd::Error);
+}
+
+TEST(Attention, ExposesFourGemmLayers) {
+  Rng rng(124);
+  AttentionLayer attn(8, 2, rng);
+  std::vector<GemmLayer*> gemms;
+  attn.collect_gemm_layers(gemms);
+  EXPECT_EQ(gemms.size(), 4u);
+  // Paper §4.3: QKV/out projections are not TASD-A targets.
+  for (auto* g : gemms) EXPECT_FALSE(g->allow_tasd_a());
+}
+
+TEST(Attention, SingleTokenIsStable) {
+  Rng rng(125);
+  AttentionLayer attn(8, 2, rng);
+  const MatrixF x = random_dense(8, 1, Dist::kNormalStd1, rng);
+  const Feature out = attn.forward(Feature(MatrixF(x)));
+  for (float v : out.matrix().flat()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TokenMlpBlock, PreservesShapeAndExposesTwoFcs) {
+  Rng rng(126);
+  TokenMlpBlockLayer mlp(8, 32, ActKind::kGelu, rng);
+  const MatrixF x = random_dense(8, 5, Dist::kNormalStd1, rng);
+  const Feature out = mlp.forward(Feature(MatrixF(x)));
+  EXPECT_EQ(out.matrix().rows(), 8u);
+  EXPECT_EQ(out.matrix().cols(), 5u);
+  std::vector<GemmLayer*> gemms;
+  mlp.collect_gemm_layers(gemms);
+  ASSERT_EQ(gemms.size(), 2u);
+  // MLP FCs are the TASD-A-eligible transformer layers (Fig. 8d).
+  EXPECT_TRUE(gemms[0]->allow_tasd_a());
+  EXPECT_TRUE(gemms[1]->allow_tasd_a());
+}
+
+TEST(TokenMeanPool, PoolsToOneColumn) {
+  MatrixF x(2, 3, {1, 2, 3, 4, 5, 6});
+  TokenMeanPoolLayer pool;
+  const Feature out = pool.forward(Feature(std::move(x)));
+  EXPECT_EQ(out.matrix().cols(), 1u);
+  EXPECT_FLOAT_EQ(out.matrix()(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(out.matrix()(1, 0), 5.0F);
+}
+
+TEST(TokenNorm, NormalizesEachTokenColumn) {
+  Rng rng(127);
+  const MatrixF x = random_dense(16, 4, Dist::kNormalStd1, rng);
+  TokenNormLayer norm;
+  const MatrixF out = norm.forward(Feature(MatrixF(x))).matrix();
+  for (Index c = 0; c < out.cols(); ++c) {
+    double mean = 0.0, var = 0.0;
+    for (Index r = 0; r < out.rows(); ++r) mean += out(r, c);
+    mean /= 16.0;
+    for (Index r = 0; r < out.rows(); ++r)
+      var += (out(r, c) - mean) * (out(r, c) - mean);
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+}  // namespace
+}  // namespace tasd::dnn

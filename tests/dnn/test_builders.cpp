@@ -1,0 +1,116 @@
+#include "dnn/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/metrics.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+ConvNetOptions tiny_conv() {
+  ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  return o;
+}
+
+TransformerOptions tiny_tf() {
+  TransformerOptions o;
+  o.dim = 16;
+  o.layers = 2;
+  o.heads = 2;
+  o.num_classes = 10;
+  return o;
+}
+
+TEST(Builders, ResNet18LayerCount) {
+  Model m = make_resnet(18, tiny_conv());
+  // stem + 8 basic blocks * 2 convs + 3 projections + 2 head FCs = 22.
+  EXPECT_EQ(m.gemm_layers().size(), 22u);
+}
+
+TEST(Builders, ResNet50LayerCount) {
+  Model m = make_resnet(50, tiny_conv());
+  // stem + 16 bottleneck * 3 + 4 projections + 2 head FCs = 55.
+  EXPECT_EQ(m.gemm_layers().size(), 55u);
+}
+
+TEST(Builders, ResNetRejectsUnknownDepth) {
+  EXPECT_THROW(make_resnet(99, tiny_conv()), tasd::Error);
+}
+
+TEST(Builders, ResNetForwardProducesLogits) {
+  Model m = make_resnet(18, tiny_conv());
+  const EvalSet eval = EvalSet::images(4, 8, 3, 1);
+  const auto labels = predict(m, eval);
+  EXPECT_EQ(labels.size(), 4u);
+  for (Index l : labels) EXPECT_LT(l, 10u);
+}
+
+TEST(Builders, ResNetDeterministicForward) {
+  Model m1 = make_resnet(18, tiny_conv());
+  Model m2 = make_resnet(18, tiny_conv());
+  const EvalSet eval = EvalSet::images(4, 8, 3, 2);
+  EXPECT_EQ(predict(m1, eval), predict(m2, eval));
+}
+
+TEST(Builders, Vgg11ForwardAndCount) {
+  Model m = make_vgg(11, tiny_conv());
+  EXPECT_EQ(m.gemm_layers().size(), 8u + 2u);  // 8 convs + head FCs
+  const EvalSet eval = EvalSet::images(2, 8, 3, 3);
+  EXPECT_EQ(predict(m, eval).size(), 2u);
+}
+
+TEST(Builders, Vgg16HasMoreLayersThanVgg11) {
+  EXPECT_GT(make_vgg(16, tiny_conv()).gemm_layers().size(),
+            make_vgg(11, tiny_conv()).gemm_layers().size());
+}
+
+TEST(Builders, ConvNextUsesGelu) {
+  Model m = make_convnext(tiny_conv());
+  const EvalSet eval = EvalSet::images(2, 8, 3, 4);
+  (void)predict(m, eval);
+  // GELU network: GEMM inputs are dense (beyond the stem).
+  bool saw_dense_mid_layer = false;
+  for (auto* l : m.gemm_layers()) {
+    if (l->stats().forward_count > 0 && l->stats().raw_input_density > 0.95)
+      saw_dense_mid_layer = true;
+  }
+  EXPECT_TRUE(saw_dense_mid_layer);
+}
+
+TEST(Builders, BertForwardOnTokens) {
+  Model m = make_bert(tiny_tf());
+  EXPECT_EQ(m.input_kind(), InputKind::kTokens);
+  // 2 encoders * (4 attention + 2 MLP) + head = 13 GEMM layers.
+  EXPECT_EQ(m.gemm_layers().size(), 13u);
+  const EvalSet eval = EvalSet::tokens(3, 16, 8, 5);
+  EXPECT_EQ(predict(m, eval).size(), 3u);
+}
+
+TEST(Builders, VitRunsPerSample) {
+  Model m = make_vit(tiny_conv(), tiny_tf());
+  EXPECT_TRUE(m.single_sample_batches());
+  const EvalSet eval = EvalSet::images(3, 8, 3, 6);
+  EXPECT_EQ(predict(m, eval).size(), 3u);
+}
+
+TEST(Builders, ParameterCountPositiveAndDenseByDefault) {
+  Model m = make_resnet(34, tiny_conv());
+  EXPECT_GT(m.parameter_count(), 0u);
+  EXPECT_LT(m.weight_sparsity(), 0.01);
+}
+
+TEST(Builders, ClearTasdResetsConfigs) {
+  Model m = make_resnet(18, tiny_conv());
+  for (auto* l : m.gemm_layers()) l->set_tasd_w(TasdConfig::parse("2:4"));
+  m.clear_tasd();
+  for (auto* l : m.gemm_layers()) {
+    EXPECT_FALSE(l->tasd_w().has_value());
+    EXPECT_FALSE(l->tasd_a().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace tasd::dnn

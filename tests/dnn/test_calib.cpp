@@ -1,0 +1,77 @@
+#include "dnn/calib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+ConvNetOptions tiny() {
+  ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  return o;
+}
+
+TEST(Calib, OneEntryPerGemmLayer) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet calib = EvalSet::images(8, 8, 3, 11);
+  const auto stats = collect_calibration(m, calib);
+  EXPECT_EQ(stats.size(), m.gemm_layers().size());
+  for (const auto& s : stats) {
+    EXPECT_GT(s.samples, 0u);
+    EXPECT_GE(s.mean_density, 0.0);
+    EXPECT_LE(s.mean_density, 1.0);
+    EXPECT_NE(s.layer, nullptr);
+  }
+}
+
+TEST(Calib, ReluNetworkShowsActivationSparsity) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet calib = EvalSet::images(16, 8, 3, 12);
+  const auto stats = collect_calibration(m, calib);
+  // At least half of the non-stem layers should see sparse inputs.
+  Index sparse_layers = 0;
+  for (std::size_t i = 1; i < stats.size(); ++i)
+    if (stats[i].act_induces_sparsity) ++sparse_layers;
+  EXPECT_GT(sparse_layers, stats.size() / 2);
+}
+
+TEST(Calib, GeluNetworkShowsDenseButSkewedActivations) {
+  TransformerOptions o;
+  o.dim = 16;
+  o.layers = 2;
+  o.heads = 2;
+  o.num_classes = 10;
+  Model m = make_bert(o);
+  const EvalSet calib = EvalSet::tokens(8, 16, 8, 13);
+  const auto stats = collect_calibration(m, calib);
+  double min_pseudo = 1.0;
+  for (const auto& s : stats) {
+    EXPECT_GT(s.mean_density, 0.9);  // literally dense
+    EXPECT_LT(s.mean_pseudo_density, 0.9);  // but magnitude-skewed
+    min_pseudo = std::min(min_pseudo, s.mean_pseudo_density);
+  }
+  // GELU-fed layers (mlp.fc2 inputs) are the most skewed.
+  EXPECT_LT(min_pseudo, 0.7);
+}
+
+TEST(Calib, P99AtLeastMean) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet calib = EvalSet::images(32, 8, 3, 14);
+  for (const auto& s : collect_calibration(m, calib))
+    EXPECT_GE(s.p99_density + 1e-9, s.mean_density);
+}
+
+TEST(Calib, StemSeesDenseImageInput) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet calib = EvalSet::images(8, 8, 3, 15);
+  const auto stats = collect_calibration(m, calib);
+  EXPECT_GT(stats.front().mean_density, 0.99);
+  EXPECT_FALSE(stats.front().act_induces_sparsity);
+}
+
+}  // namespace
+}  // namespace tasd::dnn

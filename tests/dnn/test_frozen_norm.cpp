@@ -1,0 +1,95 @@
+// Tests for the deployment-style frozen batch-norm semantics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dnn/layers.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+Tensor4D batch(std::uint64_t seed) {
+  Rng rng(seed);
+  return random_tensor(8, 4, 6, 6, 1.0, Dist::kNormalStd1, rng);
+}
+
+TEST(FrozenNorm, FirstForwardCalibrates) {
+  Rng rng(901);
+  auto conv = make_conv(4, 8, 3, 1, 1, ActKind::kNone, rng);
+  const Tensor4D in = batch(1);
+  const Feature out1 = conv->forward(Feature(in));
+  // Calibration batch: per-channel mean ~0, std ~1 across batch*spatial.
+  const Tensor4D& t = out1.tensor();
+  for (Index c = 0; c < t.c(); ++c) {
+    double mean = 0.0;
+    Index n = 0;
+    for (Index b = 0; b < t.n(); ++b)
+      for (Index y = 0; y < t.h(); ++y)
+        for (Index x = 0; x < t.w(); ++x) {
+          mean += t(b, c, y, x);
+          ++n;
+        }
+    EXPECT_NEAR(mean / static_cast<double>(n), 0.0, 1e-3);
+  }
+}
+
+TEST(FrozenNorm, StatsDoNotDriftOnLaterBatches) {
+  Rng rng(902);
+  auto conv = make_conv(4, 8, 3, 1, 1, ActKind::kNone, rng);
+  (void)conv->forward(Feature(batch(1)));  // calibrate
+  // A later batch with a big mean shift must NOT be re-normalized to
+  // zero mean — frozen stats pass the shift through.
+  Tensor4D shifted = batch(2);
+  for (float& v : shifted.flat()) v += 5.0F;
+  const Tensor4D& t = conv->forward(Feature(shifted)).tensor();
+  double mean = 0.0;
+  for (float v : t.flat()) mean += v;
+  mean /= static_cast<double>(t.size());
+  EXPECT_GT(std::fabs(mean), 0.5);
+}
+
+TEST(FrozenNorm, SameInputSameOutputAcrossCalls) {
+  Rng rng(903);
+  auto conv = make_conv(4, 8, 3, 1, 1, ActKind::kRelu, rng);
+  const Tensor4D in = batch(3);
+  const Feature a = conv->forward(Feature(in));
+  const Feature b = conv->forward(Feature(in));
+  auto fa = a.tensor().flat();
+  auto fb = b.tensor().flat();
+  for (Index i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]);
+}
+
+TEST(FrozenNorm, ResetRecalibrates) {
+  Rng rng(904);
+  auto conv = make_conv(4, 8, 3, 1, 1, ActKind::kNone, rng);
+  (void)conv->forward(Feature(batch(4)));
+  Tensor4D shifted = batch(5);
+  for (float& v : shifted.flat()) v += 5.0F;
+  conv->reset_norm_calibration();
+  // Recalibrated on the shifted batch: output mean back near zero.
+  const Tensor4D& t = conv->forward(Feature(shifted)).tensor();
+  double mean = 0.0;
+  for (float v : t.flat()) mean += v;
+  mean /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 0.0, 1e-3);
+}
+
+TEST(FrozenNorm, TasdConfigsDoNotRecalibrate) {
+  // The heart of the metric's validity: setting TASD configs after
+  // calibration must not shift the normalization operating point.
+  Rng rng(905);
+  auto conv = make_conv(8, 8, 1, 1, 0, ActKind::kNone, rng);
+  const Tensor4D in = batch(6).n() ? batch(6) : Tensor4D();
+  Rng rng2(907);
+  const Tensor4D input = random_tensor(8, 8, 4, 4, 1.0, Dist::kNormalStd1,
+                                       rng2);
+  const Feature base = conv->forward(Feature(input));
+  conv->set_tasd_w(TasdConfig::parse("4:8+4:8"));  // lossless series
+  const Feature after = conv->forward(Feature(input));
+  auto fa = base.tensor().flat();
+  auto fb = after.tensor().flat();
+  for (Index i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fb[i]);
+}
+
+}  // namespace
+}  // namespace tasd::dnn

@@ -1,0 +1,179 @@
+#include "dnn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+Tensor4D input_tensor(Index n, Index c, Index hw, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_tensor(n, c, hw, hw, 1.0, Dist::kNormalStd1, rng);
+}
+
+TEST(Conv2dLayer, OutputShape) {
+  Rng rng(101);
+  auto conv = make_conv(3, 8, 3, 1, 1, ActKind::kRelu, rng);
+  const Feature out = conv->forward(Feature(input_tensor(2, 3, 8, 1)));
+  ASSERT_TRUE(out.is_tensor());
+  EXPECT_EQ(out.tensor().n(), 2u);
+  EXPECT_EQ(out.tensor().c(), 8u);
+  EXPECT_EQ(out.tensor().h(), 8u);
+  EXPECT_EQ(out.tensor().w(), 8u);
+}
+
+TEST(Conv2dLayer, StrideHalvesResolution) {
+  Rng rng(102);
+  auto conv = make_conv(3, 4, 3, 2, 1, ActKind::kRelu, rng);
+  const Feature out = conv->forward(Feature(input_tensor(1, 3, 8, 2)));
+  EXPECT_EQ(out.tensor().h(), 4u);
+}
+
+TEST(Conv2dLayer, ReluProducesActivationSparsity) {
+  Rng rng(103);
+  auto conv = make_conv(4, 16, 3, 1, 1, ActKind::kRelu, rng);
+  const Feature out = conv->forward(Feature(input_tensor(2, 4, 8, 3)));
+  // Batch-normalized pre-activations are ~zero-centred: ReLU should zero
+  // roughly half the outputs.
+  EXPECT_GT(out.sparsity(), 0.3);
+  EXPECT_LT(out.sparsity(), 0.7);
+}
+
+TEST(Conv2dLayer, GeluProducesDenseActivations) {
+  Rng rng(104);
+  auto conv = make_conv(4, 16, 3, 1, 1, ActKind::kGelu, rng);
+  const Feature out = conv->forward(Feature(input_tensor(2, 4, 8, 4)));
+  EXPECT_LT(out.sparsity(), 0.05);
+}
+
+TEST(Conv2dLayer, RecordsGemmStats) {
+  Rng rng(105);
+  auto conv = make_conv(3, 8, 3, 1, 1, ActKind::kRelu, rng);
+  (void)conv->forward(Feature(input_tensor(2, 3, 8, 5)));
+  const auto& s = conv->stats();
+  EXPECT_EQ(s.dims.m, 8u);
+  EXPECT_EQ(s.dims.k, 27u);
+  EXPECT_EQ(s.dims.n, 8u * 8u * 2u);
+  EXPECT_EQ(s.forward_count, 1u);
+  // Dense random input, but im2col padding contributes structural zeros.
+  EXPECT_GT(s.input_density, 0.8);
+}
+
+TEST(Conv2dLayer, TasdWReducesWeightNnz) {
+  Rng rng(106);
+  auto conv = make_conv(8, 8, 1, 1, 0, ActKind::kNone, rng);
+  const Index dense_nnz = conv->weight().nnz();
+  conv->set_tasd_w(TasdConfig::parse("2:8"));
+  EXPECT_LE(conv->effective_weight().nnz(), dense_nnz / 2);
+  conv->set_tasd_w(std::nullopt);
+  EXPECT_EQ(conv->effective_weight().nnz(), dense_nnz);
+}
+
+TEST(Conv2dLayer, TasdACutsInputDensity) {
+  Rng rng(107);
+  auto conv = make_conv(8, 4, 1, 1, 0, ActKind::kNone, rng);
+  conv->set_tasd_a(TasdConfig::parse("2:8"));
+  (void)conv->forward(Feature(input_tensor(1, 8, 4, 6)));
+  // 2:8 keeps at most 25 % of the activation operand.
+  EXPECT_LE(conv->stats().input_density, 0.25 + 1e-9);
+  EXPECT_GT(conv->stats().raw_input_density, 0.9);
+}
+
+TEST(Conv2dLayer, SetWeightPreservesShapeContract) {
+  Rng rng(108);
+  auto conv = make_conv(3, 4, 3, 1, 1, ActKind::kNone, rng);
+  EXPECT_THROW(conv->set_weight(MatrixF(4, 5)), tasd::Error);
+  EXPECT_NO_THROW(conv->set_weight(MatrixF(4, 27)));
+}
+
+TEST(LinearLayer, ComputesActWX) {
+  MatrixF w(2, 2, {1, 0, 0, 1});
+  LinearLayer l(std::move(w), ActKind::kRelu);
+  MatrixF x(2, 1, {3.0F, -2.0F});
+  const Feature out = l.forward(Feature(std::move(x)));
+  EXPECT_EQ(out.matrix()(0, 0), 3.0F);
+  EXPECT_EQ(out.matrix()(1, 0), 0.0F);  // ReLU clipped
+}
+
+TEST(LinearLayer, InputFeatureMismatchThrows) {
+  Rng rng(109);
+  auto l = make_linear(8, 4, ActKind::kNone, rng);
+  EXPECT_THROW(l->forward(Feature(MatrixF(5, 2))), tasd::Error);
+}
+
+TEST(ActLayer, WorksOnBothShapes) {
+  ActLayer relu(ActKind::kRelu);
+  MatrixF m(1, 2, {-1.0F, 2.0F});
+  const Feature fm = relu.forward(Feature(std::move(m)));
+  EXPECT_EQ(fm.matrix()(0, 0), 0.0F);
+
+  Tensor4D t(1, 1, 1, 2);
+  t(0, 0, 0, 0) = -4.0F;
+  t(0, 0, 0, 1) = 4.0F;
+  const Feature ft = relu.forward(Feature(std::move(t)));
+  EXPECT_EQ(ft.tensor()(0, 0, 0, 0), 0.0F);
+  EXPECT_EQ(ft.tensor()(0, 0, 0, 1), 4.0F);
+}
+
+TEST(MaxPool2, TakesBlockMaximum) {
+  Tensor4D t(1, 1, 2, 2);
+  t(0, 0, 0, 0) = 1.0F;
+  t(0, 0, 0, 1) = 5.0F;
+  t(0, 0, 1, 0) = -2.0F;
+  t(0, 0, 1, 1) = 0.5F;
+  MaxPool2Layer pool;
+  const Feature out = pool.forward(Feature(std::move(t)));
+  EXPECT_EQ(out.tensor()(0, 0, 0, 0), 5.0F);
+}
+
+TEST(GlobalAvgPool, AveragesSpatially) {
+  Tensor4D t(2, 3, 2, 2);
+  for (Index n = 0; n < 2; ++n)
+    for (Index c = 0; c < 3; ++c)
+      for (Index i = 0; i < 4; ++i)
+        t(n, c, i / 2, i % 2) = static_cast<float>(c + 1);
+  GlobalAvgPoolLayer pool;
+  const Feature out = pool.forward(Feature(std::move(t)));
+  ASSERT_FALSE(out.is_tensor());
+  EXPECT_EQ(out.matrix().rows(), 3u);
+  EXPECT_EQ(out.matrix().cols(), 2u);
+  EXPECT_FLOAT_EQ(out.matrix()(2, 1), 3.0F);
+}
+
+TEST(ResBlock, IdentitySkipAddsInput) {
+  Rng rng(110);
+  std::vector<std::unique_ptr<Layer>> branch;
+  branch.push_back(make_conv(4, 4, 1, 1, 0, ActKind::kNone, rng));
+  ResBlockLayer block(std::move(branch), nullptr, ActKind::kRelu);
+  const Feature out = block.forward(Feature(input_tensor(1, 4, 4, 7)));
+  EXPECT_EQ(out.tensor().c(), 4u);
+  // ReLU output: non-negative everywhere.
+  for (float v : out.tensor().flat()) EXPECT_GE(v, 0.0F);
+}
+
+TEST(ResBlock, CollectsNestedGemmLayers) {
+  Rng rng(111);
+  std::vector<std::unique_ptr<Layer>> branch;
+  branch.push_back(make_conv(4, 8, 1, 1, 0, ActKind::kRelu, rng));
+  branch.push_back(make_conv(8, 8, 3, 1, 1, ActKind::kNone, rng));
+  auto proj = make_conv(4, 8, 1, 1, 0, ActKind::kNone, rng);
+  ResBlockLayer block(std::move(branch), std::move(proj), ActKind::kRelu);
+  std::vector<GemmLayer*> gemms;
+  block.collect_gemm_layers(gemms);
+  EXPECT_EQ(gemms.size(), 3u);
+}
+
+TEST(ToTokens, FlattensSpatialToTokens) {
+  Tensor4D t(2, 3, 2, 2);
+  t(1, 2, 1, 1) = 7.0F;
+  ToTokensLayer layer;
+  const Feature out = layer.forward(Feature(std::move(t)));
+  EXPECT_EQ(out.matrix().rows(), 3u);
+  EXPECT_EQ(out.matrix().cols(), 8u);  // 2 batch * 2 * 2 positions
+  EXPECT_EQ(out.matrix()(2, 7), 7.0F);
+}
+
+}  // namespace
+}  // namespace tasd::dnn

@@ -1,0 +1,82 @@
+#include "dnn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+ConvNetOptions tiny() {
+  ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  return o;
+}
+
+TEST(EvalSet, ImageCountAndBatching) {
+  const EvalSet s = EvalSet::images(35, 8, 3, 1);
+  EXPECT_EQ(s.count(), 35u);
+  EXPECT_TRUE(s.is_images());
+  // 35 = 2 full batches of 16 + one of 3.
+  ASSERT_EQ(s.image_batches().size(), 3u);
+  EXPECT_EQ(s.image_batches().back().n(), 3u);
+}
+
+TEST(EvalSet, TokensCount) {
+  const EvalSet s = EvalSet::tokens(5, 16, 8, 2);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_FALSE(s.is_images());
+  EXPECT_EQ(s.sequences().size(), 5u);
+}
+
+TEST(EvalSet, SeededReproducibility) {
+  const EvalSet a = EvalSet::images(4, 8, 3, 7);
+  const EvalSet b = EvalSet::images(4, 8, 3, 7);
+  EXPECT_EQ(a.image_batches()[0].flat()[0], b.image_batches()[0].flat()[0]);
+}
+
+TEST(Agreement, PerfectAndPartial) {
+  EXPECT_DOUBLE_EQ(agreement({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(agreement({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(agreement({}, {}), 1.0);
+}
+
+TEST(Agreement, LengthMismatchThrows) {
+  EXPECT_THROW(agreement({1}, {1, 2}), tasd::Error);
+}
+
+TEST(Predict, UnmodifiedModelAgreesWithItself) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet eval = EvalSet::images(8, 8, 3, 3);
+  const auto ref = predict(m, eval);
+  EXPECT_DOUBLE_EQ(top1_agreement(m, eval, ref), 1.0);
+}
+
+TEST(Predict, WrongInputKindThrows) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet tokens = EvalSet::tokens(2, 16, 4, 4);
+  EXPECT_THROW(predict(m, tokens), tasd::Error);
+}
+
+TEST(Predict, MildTasdKeepsHighAgreement) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet eval = EvalSet::images(16, 8, 3, 5);
+  const auto ref = predict(m, eval);
+  // A lossless-ish two-term series on dense weights: 4:8+4:8 keeps all.
+  for (auto* l : m.gemm_layers()) l->set_tasd_w(TasdConfig::parse("4:8+4:8"));
+  EXPECT_DOUBLE_EQ(top1_agreement(m, eval, ref), 1.0);
+}
+
+TEST(Predict, AggressiveTasdDegradesAgreement) {
+  Model m = make_resnet(18, tiny());
+  const EvalSet eval = EvalSet::images(16, 8, 3, 6);
+  const auto ref = predict(m, eval);
+  for (auto* l : m.gemm_layers()) l->set_tasd_w(TasdConfig::parse("1:16"));
+  // Keeping 1/16 of dense weights should break most predictions.
+  EXPECT_LT(top1_agreement(m, eval, ref), 0.9);
+}
+
+}  // namespace
+}  // namespace tasd::dnn

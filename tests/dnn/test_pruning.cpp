@@ -1,0 +1,90 @@
+#include "dnn/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+
+namespace tasd::dnn {
+namespace {
+
+ConvNetOptions tiny() {
+  ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  return o;
+}
+
+TEST(SparsityProfile, RampsUpWithDepth) {
+  const double early = layer_sparsity_target(0.95, 0.0, false);
+  const double mid = layer_sparsity_target(0.95, 0.5, false);
+  EXPECT_LT(early, mid);
+  EXPECT_GT(early, 0.5);  // first layers still substantially pruned
+}
+
+TEST(SparsityProfile, ClassifierPrunedLess) {
+  const double last = layer_sparsity_target(0.95, 1.0, true);
+  const double mid = layer_sparsity_target(0.95, 0.5, false);
+  EXPECT_LT(last, mid);
+}
+
+TEST(SparsityProfile, ClampedToValidRange) {
+  EXPECT_LE(layer_sparsity_target(0.99, 1.0, false), 0.99);
+  EXPECT_GE(layer_sparsity_target(0.0, 0.0, false), 0.0);
+}
+
+TEST(PruneUnstructured, HitsGlobalTargetApproximately) {
+  Model m = make_resnet(18, tiny());
+  const double achieved = prune_unstructured(m, 0.9);
+  EXPECT_NEAR(achieved, 0.9, 0.06);
+  EXPECT_NEAR(m.weight_sparsity(), achieved, 1e-9);
+}
+
+TEST(PruneUnstructured, LayersDifferInSparsity) {
+  Model m = make_resnet(18, tiny());
+  (void)prune_unstructured(m, 0.9);
+  const auto rows = sparsity_report(m);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& r : rows) {
+    lo = std::min(lo, r.weight_sparsity);
+    hi = std::max(hi, r.weight_sparsity);
+  }
+  EXPECT_GT(hi - lo, 0.05);  // Fig. 6: a real spread across layers
+}
+
+TEST(PruneStructured, EveryLayerSatisfiesPattern) {
+  Model m = make_vgg(11, tiny());
+  const sparse::NMPattern p(2, 4);
+  (void)prune_structured(m, p);
+  for (auto* l : m.gemm_layers()) EXPECT_TRUE(sparse::satisfies(l->weight(), p));
+}
+
+TEST(PruneStructured, AchievesAtLeastPatternSparsity) {
+  Model m = make_vgg(11, tiny());
+  const double s = prune_structured(m, sparse::NMPattern(2, 4));
+  // Ragged tail blocks (K not divisible by 4) keep min(N, len) elements,
+  // so the global figure can fall a hair short of N/M.
+  EXPECT_GE(s, 0.49);
+}
+
+TEST(SparsityReport, OneRowPerGemmLayer) {
+  Model m = make_resnet(18, tiny());
+  EXPECT_EQ(sparsity_report(m).size(), m.gemm_layers().size());
+}
+
+TEST(PruneUnstructured, PreservesWeightShapes) {
+  Model m = make_resnet(18, tiny());
+  std::vector<std::pair<Index, Index>> shapes;
+  for (auto* l : m.gemm_layers()) shapes.emplace_back(l->weight().rows(),
+                                                      l->weight().cols());
+  (void)prune_unstructured(m, 0.95);
+  std::size_t i = 0;
+  for (auto* l : m.gemm_layers()) {
+    EXPECT_EQ(l->weight().rows(), shapes[i].first);
+    EXPECT_EQ(l->weight().cols(), shapes[i].second);
+    ++i;
+  }
+}
+
+}  // namespace
+}  // namespace tasd::dnn

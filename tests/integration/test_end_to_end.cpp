@@ -1,0 +1,109 @@
+// Integration tests: the full TASDER pipeline from model to accelerator
+// simulation, crossing every module boundary.
+#include <gtest/gtest.h>
+
+#include "accel/network_sim.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/pruning.hpp"
+#include "tasder/framework.hpp"
+#include "tasder/workload_opt.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(EndToEnd, SparseResnetTasdwToAccelSim) {
+  // 1. Build + prune a twin model; 2. run TASDER (quality-gated);
+  // 3. carry the decisions to the full-scale workload; 4. simulate.
+  dnn::ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  dnn::Model model = dnn::make_resnet(50, o);
+  (void)dnn::prune_unstructured(model, 0.95);
+
+  const auto eval = dnn::EvalSet::images(32, 8, 3, 601);
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 602);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw =
+      tasder::hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+  const auto result = tasder::optimize_model(model, hw, calib, eval, ref);
+  EXPECT_EQ(result.mode, tasder::TasderMode::kWeights);
+  EXPECT_GE(result.achieved_agreement, 0.99);
+  // Paper: ~49 % MAC reduction for layer-wise TASD-W; expect > 25 % here.
+  EXPECT_LT(result.mac_fraction, 0.75);
+
+  // Full-scale counterpart through the accelerator model.
+  const auto net = dnn::resnet50_workload(true, 42);
+  const auto execs = tasder::optimize_workload(net, hw);
+  const auto ttc = accel::ArchConfig::ttc_vegeta_m8();
+  const auto tc = accel::ArchConfig::dense_tc();
+  const auto sim = accel::simulate_network(ttc, execs, net.name);
+  const auto base = accel::simulate_network(
+      tc, tasder::plain_executions(net), net.name);
+  EXPECT_LT(accel::normalized_edp(sim, base), 0.5);
+}
+
+TEST(EndToEnd, DenseBertTasdaKeepsQualityAndSavesEdp) {
+  dnn::TransformerOptions o;
+  o.dim = 32;
+  o.layers = 2;
+  o.heads = 2;
+  o.num_classes = 10;
+  dnn::Model model = dnn::make_bert(o);
+  const auto eval = dnn::EvalSet::tokens(32, 32, 8, 603);
+  const auto calib = dnn::EvalSet::tokens(8, 32, 8, 604);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw =
+      tasder::hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+  const auto result = tasder::optimize_model(model, hw, calib, eval, ref);
+  EXPECT_EQ(result.mode, tasder::TasderMode::kActivations);
+  EXPECT_GE(result.achieved_agreement, 0.99);
+
+  const auto net = dnn::bert_workload(false, 42);
+  const auto execs = tasder::optimize_workload(net, hw);
+  const auto sim = accel::simulate_network(
+      accel::ArchConfig::ttc_vegeta_m8(), execs, net.name);
+  const auto base = accel::simulate_network(
+      accel::ArchConfig::dense_tc(), tasder::plain_executions(net), net.name);
+  EXPECT_LT(accel::normalized_edp(sim, base), 1.0);
+}
+
+TEST(EndToEnd, Figure12OrderingHolds) {
+  // The qualitative shape of Fig. 12 on the sparse ResNet-50 workload:
+  // TTC-VEGETA-M8 < TTC-STC-M4 < TC, and DSTC < TC.
+  const auto net = dnn::resnet50_workload(true, 42);
+  const auto tc = accel::ArchConfig::dense_tc();
+  const auto base =
+      accel::simulate_network(tc, tasder::plain_executions(net), net.name);
+
+  auto edp_of = [&](const accel::ArchConfig& arch) {
+    const auto execs =
+        tasder::optimize_workload(net, tasder::hw_profile_from(arch));
+    return accel::normalized_edp(
+        accel::simulate_network(arch, execs, net.name), base);
+  };
+
+  const double dstc = edp_of(accel::ArchConfig::dstc());
+  const double stc_m4 = edp_of(accel::ArchConfig::ttc_stc_m4());
+  const double vegeta_m8 = edp_of(accel::ArchConfig::ttc_vegeta_m8());
+  EXPECT_LT(dstc, 1.0);
+  EXPECT_LT(stc_m4, 1.0);
+  EXPECT_LT(vegeta_m8, stc_m4);
+}
+
+TEST(EndToEnd, PlainVegetaGainsNothingOnUnstructuredModel) {
+  // Fig. 19 ablation: structured HW without TASDER cannot exploit
+  // unstructured sparsity.
+  const auto net = dnn::resnet50_workload(true, 42);
+  const auto vegeta = accel::ArchConfig::vegeta_m8_no_tasd();
+  const auto tc = accel::ArchConfig::dense_tc();
+  // No TASDER: plain executions on both.
+  const auto sim_v = accel::simulate_network(
+      vegeta, tasder::plain_executions(net), net.name);
+  const auto sim_tc =
+      accel::simulate_network(tc, tasder::plain_executions(net), net.name);
+  EXPECT_NEAR(accel::normalized_edp(sim_v, sim_tc), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tasd

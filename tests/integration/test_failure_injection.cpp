@@ -1,0 +1,90 @@
+// Failure injection: malformed inputs must fail loudly (tasd::Error),
+// never silently corrupt results.
+#include <gtest/gtest.h>
+
+#include "accel/perf_model.hpp"
+#include "core/decompose.hpp"
+#include "core/series_enum.hpp"
+#include "dnn/builders.hpp"
+#include "dnn/metrics.hpp"
+#include "runtime/engine.hpp"
+#include "tasder/tasda.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(FailureInjection, MalformedConfigStrings) {
+  for (const char* bad : {"", "2", "2:", ":4", "2:4+", "+", "2;4", "a:b",
+                          "2:4 + 1:8", "-1:4", "5:4"}) {
+    EXPECT_THROW(TasdConfig::parse(bad), Error) << '"' << bad << '"';
+  }
+}
+
+TEST(FailureInjection, OversizedPatternRejected) {
+  EXPECT_THROW(sparse::NMPattern(9, 8), Error);
+  EXPECT_THROW(sparse::NMPattern(1, -4), Error);
+}
+
+TEST(FailureInjection, EmptyModelForwardThrows) {
+  dnn::Model empty("empty", dnn::InputKind::kImage);
+  EXPECT_THROW(empty.forward(dnn::Feature(Tensor4D(1, 1, 2, 2))), Error);
+}
+
+TEST(FailureInjection, MismatchedEvalSetThrows) {
+  dnn::ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  dnn::Model m = dnn::make_resnet(18, o);
+  // Wrong channel count fails inside im2col's contract check.
+  const auto eval = dnn::EvalSet::images(2, 8, 5, 1);
+  EXPECT_THROW(dnn::predict(m, eval), Error);
+}
+
+TEST(FailureInjection, PerfModelRejectsForeignSeries) {
+  dnn::GemmWorkload l;
+  l.m = l.k = l.n = 64;
+  const auto stc = accel::ArchConfig::ttc_stc_m4();
+  accel::LayerExecution exec{l, TasdConfig::parse("1:4"), {}, {}};
+  EXPECT_THROW(accel::simulate_layer(stc, exec), Error);
+}
+
+TEST(FailureInjection, EngineRejectsMisalignedConfigList) {
+  dnn::NetworkWorkload net;
+  net.name = "x";
+  dnn::GemmWorkload l;
+  l.m = l.k = l.n = 8;
+  net.layers = {l, l};
+  EXPECT_THROW(rt::measure_workload(net, {std::nullopt}, {}), Error);
+}
+
+TEST(FailureInjection, SeriesEnumRejectsZeroTermBudget) {
+  EXPECT_THROW(enumerate_configs({sparse::NMPattern(2, 4)}, 0), Error);
+}
+
+TEST(FailureInjection, AgreementLengthMismatch) {
+  EXPECT_THROW(dnn::agreement({1, 2}, {1}), Error);
+}
+
+TEST(FailureInjection, DecomposeWithNonFiniteValuesStillExact) {
+  // Even pathological values must preserve the move-exactness invariant
+  // (no NaN arithmetic is performed on the kept/dropped split).
+  MatrixF m(1, 8, {1.0F, -2.0F, 1e30F, -1e30F, 1e-30F, 0.0F, 3.0F, -4.0F});
+  const auto d = decompose(m, TasdConfig::parse("2:4+2:8"));
+  EXPECT_EQ(d.reconstruct_exact(), m);
+}
+
+TEST(FailureInjection, TasdaSelectionHandlesExtremeSparsity) {
+  const auto candidates =
+      tasder::hw_profile_from(accel::ArchConfig::ttc_vegeta_m8())
+          .candidate_configs();
+  // Sparsity above 1 (impossible but defensive): picks the sparsest.
+  const auto cfg = tasder::select_tasda_config(candidates, 1.5, 0.0);
+  ASSERT_TRUE(cfg);
+  EXPECT_EQ(cfg->str(), "1:8");
+  // Negative sparsity: nothing fits.
+  EXPECT_FALSE(tasder::select_tasda_config(candidates, -1.0, 0.0));
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,111 @@
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd::rt {
+namespace {
+
+/// Small synthetic workload: two layers, generous sparsity.
+dnn::NetworkWorkload tiny_net() {
+  dnn::NetworkWorkload net;
+  net.name = "tiny";
+  net.sparse_weights = true;
+  dnn::GemmWorkload l1;
+  l1.name = "a";
+  l1.m = 64;
+  l1.k = 256;
+  l1.n = 64;
+  l1.weight_density = 0.1;
+  l1.weight_seed = 5;
+  dnn::GemmWorkload l2 = l1;
+  l2.name = "b";
+  l2.m = 128;
+  l2.k = 128;
+  l2.weight_seed = 6;
+  net.layers = {l1, l2};
+  return net;
+}
+
+TEST(Engine, MeasuresAllLayers) {
+  const auto net = tiny_net();
+  EngineOptions opt;
+  opt.n_divisor = 1;
+  opt.repeats = 1;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), std::nullopt};
+  const auto timings = measure_workload(net, cfgs, opt);
+  ASSERT_EQ(timings.size(), 2u);
+  EXPECT_GT(timings[0].dense_ms, 0.0);
+  EXPECT_GT(timings[0].tasd_ms, 0.0);
+  EXPECT_TRUE(timings[0].config.has_value());
+  EXPECT_FALSE(timings[1].config.has_value());
+  EXPECT_EQ(timings[1].tasd_ms, 0.0);
+}
+
+TEST(Engine, ConfigListMustAlign) {
+  const auto net = tiny_net();
+  EXPECT_THROW(measure_workload(net, {std::nullopt}, {}), Error);
+}
+
+TEST(Engine, CompressedKernelFasterOnSparseWeights) {
+  // 2:4 executes half the MACs of dense: expect a real speed-up (allow
+  // generous margin for timer noise).
+  const auto net = tiny_net();
+  EngineOptions opt;
+  opt.n_divisor = 1;
+  opt.repeats = 3;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), TasdConfig::parse("2:4")};
+  const auto timings = measure_workload(net, cfgs, opt);
+  for (const auto& t : timings)
+    EXPECT_LT(t.tasd_ms, t.dense_ms * 0.95) << t.name;
+}
+
+TEST(Engine, NetworkLatencyComposition) {
+  std::vector<LayerTiming> timings(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    timings[i].dense_ms = 10.0;
+    timings[i].tasd_ms = 6.0;
+    timings[i].config = TasdConfig::parse("2:4");
+  }
+  const auto order = conversion_order(timings);
+  EXPECT_DOUBLE_EQ(network_latency_ms(timings, order, 0), 30.0);
+  EXPECT_DOUBLE_EQ(network_latency_ms(timings, order, 2), 22.0);
+  EXPECT_DOUBLE_EQ(network_latency_ms(timings, order, 3), 18.0);
+  EXPECT_THROW(network_latency_ms(timings, order, 4), Error);
+}
+
+TEST(Engine, ConversionOrderPrefersBiggestSavings) {
+  std::vector<LayerTiming> timings(3);
+  timings[0].dense_ms = 10.0;
+  timings[0].tasd_ms = 9.0;
+  timings[0].config = TasdConfig::parse("2:4");
+  timings[1].dense_ms = 20.0;
+  timings[1].tasd_ms = 10.0;
+  timings[1].config = TasdConfig::parse("2:4");
+  timings[2].dense_ms = 5.0;  // no config: never converted
+  const auto order = conversion_order(timings);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 2u);
+}
+
+TEST(Engine, MonotoneSpeedupInConvertedLayers) {
+  const auto net = tiny_net();
+  EngineOptions opt;
+  opt.n_divisor = 1;
+  opt.repeats = 2;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("1:4"), TasdConfig::parse("1:4")};
+  const auto timings = measure_workload(net, cfgs, opt);
+  const auto order = conversion_order(timings);
+  double prev = network_latency_ms(timings, order, 0);
+  for (std::size_t k = 1; k <= timings.size(); ++k) {
+    const double cur = network_latency_ms(timings, order, k);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace tasd::rt

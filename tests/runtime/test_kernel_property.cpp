@@ -1,0 +1,79 @@
+// Property sweep: the timed runtime kernels agree bit-for-bit in shape
+// and numerically with the functional model across patterns/densities.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/decompose.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "runtime/nm_gemm.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd::rt {
+namespace {
+
+struct KernelCase {
+  const char* config;
+  double density;
+  Index m, k, n;
+};
+
+void PrintTo(const KernelCase& c, std::ostream* os) {
+  *os << c.config << " d=" << c.density << " " << c.m << "x" << c.k << "x"
+      << c.n;
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, SeriesKernelMatchesFunctionalModel) {
+  const auto p = GetParam();
+  Rng rng(3000 + p.m + p.k);
+  const MatrixF a =
+      random_unstructured(p.m, p.k, p.density, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(p.k, p.n, Dist::kNormalStd1, rng);
+  const auto d = decompose(a, TasdConfig::parse(p.config));
+  const TasdSeriesGemm series(d);
+  const MatrixF kernel_out = series.multiply(b);
+  const MatrixF functional = gemm_ref(d.approximation(), b);
+  EXPECT_TRUE(allclose(kernel_out, functional, 1e-4, 1e-4));
+}
+
+TEST_P(KernelEquivalence, DenseKernelMatchesReference) {
+  const auto p = GetParam();
+  Rng rng(4000 + p.m + p.k);
+  const MatrixF a =
+      random_unstructured(p.m, p.k, p.density, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(p.k, p.n, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(allclose(dense_gemm(a, b), gemm_ref(a, b), 1e-4, 1e-4));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KernelEquivalence,
+    ::testing::Values(KernelCase{"2:4", 0.1, 16, 32, 8},
+                      KernelCase{"2:4", 0.9, 16, 32, 8},
+                      KernelCase{"1:8", 0.05, 32, 64, 4},
+                      KernelCase{"4:8", 0.5, 8, 64, 16},
+                      KernelCase{"4:8+1:8", 0.4, 16, 48, 8},
+                      KernelCase{"2:8+1:8", 0.2, 8, 40, 12},
+                      KernelCase{"2:4+2:8", 0.7, 16, 30, 5},  // ragged K
+                      KernelCase{"1:4", 1.0, 4, 7, 3}));      // tiny ragged
+
+TEST(KernelEdgeCases, OneByOne) {
+  MatrixF a(1, 1, {3.0F});
+  MatrixF b(1, 1, {4.0F});
+  EXPECT_EQ(dense_gemm(a, b)(0, 0), 12.0F);
+  const auto d = decompose(a, TasdConfig::parse("1:4"));
+  EXPECT_EQ(TasdSeriesGemm(d).multiply(b)(0, 0), 12.0F);
+}
+
+TEST(KernelEdgeCases, EmptyOutputColumns) {
+  Rng rng(5000);
+  const MatrixF a = random_dense(4, 8, Dist::kNormalStd1, rng);
+  const MatrixF b(8, 0);
+  const MatrixF c = dense_gemm(a, b);
+  EXPECT_EQ(c.cols(), 0u);
+}
+
+}  // namespace
+}  // namespace tasd::rt

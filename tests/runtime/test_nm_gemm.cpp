@@ -1,0 +1,75 @@
+#include "runtime/nm_gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/view.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd::rt {
+namespace {
+
+TEST(NmGemm, MatchesDenseOnConformingMatrix) {
+  Rng rng(511);
+  const MatrixF a = random_nm_structured(16, 32, 2, 4, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(32, 8, Dist::kNormalStd1, rng);
+  const sparse::NMSparseMatrix c(a, sparse::NMPattern(2, 4));
+  EXPECT_TRUE(allclose(nm_gemm(c, b), gemm_ref(a, b), 1e-4, 1e-5));
+}
+
+TEST(NmGemm, RaggedColumnsSupported) {
+  Rng rng(512);
+  const MatrixF a = random_nm_structured(8, 10, 1, 4, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(10, 3, Dist::kNormalStd1, rng);
+  const sparse::NMSparseMatrix c(a, sparse::NMPattern(1, 4));
+  EXPECT_TRUE(allclose(nm_gemm(c, b), gemm_ref(a, b), 1e-4, 1e-5));
+}
+
+TEST(NmGemm, InnerDimMismatchThrows) {
+  const sparse::NMSparseMatrix c(MatrixF(4, 8), sparse::NMPattern(2, 4));
+  EXPECT_THROW(nm_gemm(c, MatrixF(9, 2)), Error);
+}
+
+TEST(TasdSeriesGemm, LosslessSeriesEqualsDense) {
+  Rng rng(513);
+  const MatrixF a = random_unstructured(8, 32, 0.4, Dist::kNormalStd1, rng);
+  // 4:8+4:8 keeps everything.
+  const auto d = decompose(a, TasdConfig::parse("4:8+4:8"));
+  ASSERT_TRUE(d.lossless());
+  const TasdSeriesGemm series(d);
+  const MatrixF b = random_dense(32, 6, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(allclose(series.multiply(b), gemm_ref(a, b), 1e-4, 1e-5));
+}
+
+TEST(TasdSeriesGemm, LossyErrorMatchesFunctionalModel) {
+  Rng rng(514);
+  const MatrixF a = random_dense(8, 32, Dist::kNormalStd1, rng);
+  const auto cfg = TasdConfig::parse("2:8");
+  const auto d = decompose(a, cfg);
+  const TasdSeriesGemm series(d);
+  const MatrixF b = random_dense(32, 4, Dist::kNormalStd1, rng);
+  // Runtime kernel result == functional tasd_gemm result.
+  const MatrixF approx = gemm_ref(d.approximation(), b);
+  EXPECT_TRUE(allclose(series.multiply(b), approx, 1e-4, 1e-5));
+}
+
+TEST(TasdSeriesGemm, NnzEqualsKeptElements) {
+  Rng rng(515);
+  const MatrixF a = random_unstructured(16, 64, 0.3, Dist::kNormalStd1, rng);
+  const auto d = decompose(a, TasdConfig::parse("2:8+1:8"));
+  const TasdSeriesGemm series(d);
+  EXPECT_EQ(series.nnz(), a.nnz() - d.residual.nnz());
+  EXPECT_EQ(series.term_count(), 2u);
+}
+
+TEST(TasdSeriesGemm, EmptyDecomposition) {
+  const auto d = decompose(MatrixF(4, 8), TasdConfig::parse("2:8"));
+  const TasdSeriesGemm series(d);
+  const MatrixF c = series.multiply(MatrixF(8, 2));
+  for (float v : c.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace tasd::rt

@@ -1,0 +1,80 @@
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd::sparse {
+namespace {
+
+TEST(CSRMatrix, RoundTripExact) {
+  Rng rng(31);
+  const MatrixF m = random_unstructured(10, 12, 0.3, Dist::kNormalStd1, rng);
+  const CSRMatrix c(m);
+  EXPECT_EQ(c.to_dense(), m);
+  EXPECT_EQ(c.nnz(), m.nnz());
+}
+
+TEST(CSRMatrix, SpmvMatchesDense) {
+  Rng rng(32);
+  const MatrixF m = random_unstructured(8, 16, 0.4, Dist::kNormalStd1, rng);
+  const MatrixF x = random_dense(16, 1, Dist::kNormalStd1, rng);
+  const CSRMatrix c(m);
+  const auto y = c.spmv(x.flat());
+  const MatrixF oracle = gemm_ref(m, x);
+  ASSERT_EQ(y.size(), 8u);
+  for (Index i = 0; i < 8; ++i) EXPECT_NEAR(y[i], oracle(i, 0), 1e-4);
+}
+
+TEST(CSRMatrix, SpmvSizeMismatchThrows) {
+  const CSRMatrix c(MatrixF(2, 3));
+  std::vector<float> wrong(4);
+  EXPECT_THROW(c.spmv(wrong), tasd::Error);
+}
+
+TEST(CSRMatrix, SpmmMatchesDense) {
+  Rng rng(33);
+  const MatrixF m = random_unstructured(6, 10, 0.5, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(10, 7, Dist::kNormalStd1, rng);
+  const CSRMatrix c(m);
+  EXPECT_TRUE(allclose(c.spmm(b), gemm_ref(m, b), 1e-4, 1e-5));
+}
+
+TEST(CSRMatrix, SpmmInnerDimMismatchThrows) {
+  const CSRMatrix c(MatrixF(2, 3));
+  EXPECT_THROW(c.spmm(MatrixF(4, 2)), tasd::Error);
+}
+
+TEST(CSRMatrix, EmptyAndAllZero) {
+  const CSRMatrix empty{MatrixF(0, 0)};
+  EXPECT_EQ(empty.nnz(), 0u);
+  const CSRMatrix zeros{MatrixF(3, 3)};
+  EXPECT_EQ(zeros.nnz(), 0u);
+  EXPECT_EQ(zeros.to_dense(), MatrixF(3, 3));
+}
+
+TEST(CSRMatrix, RowPtrInvariant) {
+  Rng rng(34);
+  const MatrixF m = random_unstructured(5, 8, 0.4, Dist::kNormalStd1, rng);
+  const CSRMatrix c(m);
+  const auto& ptr = c.row_ptr();
+  ASSERT_EQ(ptr.size(), 6u);
+  EXPECT_EQ(ptr.front(), 0u);
+  EXPECT_EQ(ptr.back(), c.nnz());
+  for (std::size_t i = 1; i < ptr.size(); ++i) EXPECT_LE(ptr[i - 1], ptr[i]);
+}
+
+TEST(CSRMatrix, StorageGrowsWithNnz) {
+  MatrixF sparse_m(4, 100);
+  sparse_m(0, 0) = 1.0F;
+  MatrixF denser = sparse_m;
+  for (Index c = 0; c < 50; ++c) denser(1, c) = 2.0F;
+  EXPECT_LT(CSRMatrix(sparse_m).storage_bytes(),
+            CSRMatrix(denser).storage_bytes());
+}
+
+}  // namespace
+}  // namespace tasd::sparse

@@ -1,0 +1,90 @@
+#include "sparse/nm_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/view.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::sparse {
+namespace {
+
+TEST(NMSparseMatrix, RejectsNonConformingInput) {
+  MatrixF dense(2, 8, 1.0F);
+  EXPECT_THROW(NMSparseMatrix(dense, NMPattern(2, 4)), tasd::Error);
+}
+
+TEST(NMSparseMatrix, RoundTripExact) {
+  Rng rng(21);
+  const MatrixF m = random_nm_structured(8, 32, 2, 4, Dist::kNormalStd1, rng);
+  const NMSparseMatrix c(m, NMPattern(2, 4));
+  EXPECT_EQ(c.to_dense(), m);  // bit-exact
+  EXPECT_EQ(c.nnz(), m.nnz());
+}
+
+TEST(NMSparseMatrix, RoundTripRaggedColumns) {
+  Rng rng(22);
+  // 10 columns with M=4: final block is 2 wide.
+  const MatrixF m = random_nm_structured(3, 10, 1, 4, Dist::kNormalStd1, rng);
+  const NMSparseMatrix c(m, NMPattern(1, 4));
+  EXPECT_EQ(c.to_dense(), m);
+  EXPECT_EQ(c.blocks_per_row(), 3u);  // ceil(10/4)
+}
+
+TEST(NMSparseMatrix, SparsityMatchesDense) {
+  Rng rng(23);
+  const MatrixF m = random_nm_structured(4, 16, 2, 8, Dist::kNormalStd1, rng);
+  const NMSparseMatrix c(m, NMPattern(2, 8));
+  EXPECT_DOUBLE_EQ(c.sparsity(), m.sparsity());
+}
+
+TEST(NMSparseMatrix, StorageSmallerThanDense) {
+  Rng rng(24);
+  const MatrixF m = random_nm_structured(16, 64, 2, 8, Dist::kNormalStd1, rng);
+  const NMSparseMatrix c(m, NMPattern(2, 8));
+  // 2:8 keeps 1/4 of the values: compressed size should be well under
+  // half the dense footprint even with metadata.
+  EXPECT_LT(c.storage_bytes(), c.dense_bytes() / 2);
+}
+
+TEST(NMSparseMatrix, StorageAccountsReservedSlots) {
+  // Hardware reserves N slots per block regardless of occupancy: an
+  // all-zero matrix still pays for the slots.
+  MatrixF zeros(4, 16);
+  const NMSparseMatrix c(zeros, NMPattern(2, 4));
+  EXPECT_GT(c.storage_bytes(), 0u);
+  EXPECT_EQ(c.nnz(), 0u);
+}
+
+TEST(NMSparseMatrix, EmptyMatrix) {
+  MatrixF empty(0, 0);
+  const NMSparseMatrix c(empty, NMPattern(2, 4));
+  EXPECT_EQ(c.nnz(), 0u);
+  EXPECT_EQ(c.to_dense().size(), 0u);
+}
+
+TEST(NMSparseMatrix, ViewThenCompressAlwaysWorks) {
+  Rng rng(25);
+  // Arbitrary unstructured matrix: project to a view first, then
+  // compression must accept it.
+  const MatrixF m = random_unstructured(8, 32, 0.7, Dist::kNormalStd1, rng);
+  const MatrixF v = nm_view(m, NMPattern(2, 4));
+  EXPECT_NO_THROW(NMSparseMatrix(v, NMPattern(2, 4)));
+}
+
+TEST(NMSparseMatrix, BlockOffsetsConsistent) {
+  Rng rng(26);
+  const MatrixF m = random_nm_structured(4, 16, 3, 8, Dist::kNormalStd1, rng);
+  const NMSparseMatrix c(m, NMPattern(3, 8));
+  const auto& off = c.block_offsets();
+  ASSERT_EQ(off.size(), 4u * 2u + 1u);
+  EXPECT_EQ(off.front(), 0u);
+  EXPECT_EQ(off.back(), c.nnz());
+  for (std::size_t i = 1; i < off.size(); ++i) {
+    EXPECT_LE(off[i - 1], off[i]);
+    EXPECT_LE(off[i] - off[i - 1], 3u);  // at most N per block
+  }
+}
+
+}  // namespace
+}  // namespace tasd::sparse

@@ -1,0 +1,94 @@
+#include "sparse/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tasd::sparse {
+namespace {
+
+TEST(NMPattern, ParseRoundTrip) {
+  const NMPattern p = NMPattern::parse("2:4");
+  EXPECT_EQ(p.n, 2);
+  EXPECT_EQ(p.m, 4);
+  EXPECT_EQ(p.str(), "2:4");
+}
+
+TEST(NMPattern, ParseRejectsMalformed) {
+  EXPECT_THROW(NMPattern::parse("24"), tasd::Error);
+  EXPECT_THROW(NMPattern::parse("2:"), tasd::Error);
+  EXPECT_THROW(NMPattern::parse(":4"), tasd::Error);
+  EXPECT_THROW(NMPattern::parse("a:b"), tasd::Error);
+  EXPECT_THROW(NMPattern::parse("2:4x"), tasd::Error);
+  EXPECT_THROW(NMPattern::parse(""), tasd::Error);
+}
+
+TEST(NMPattern, ConstructorValidates) {
+  EXPECT_THROW(NMPattern(3, 2), tasd::Error);   // N > M
+  EXPECT_THROW(NMPattern(-1, 4), tasd::Error);  // negative N
+  EXPECT_THROW(NMPattern(1, 0), tasd::Error);   // zero M
+  EXPECT_NO_THROW(NMPattern(0, 4));             // N=0 is a valid (drop-all)
+  EXPECT_NO_THROW(NMPattern(4, 4));             // dense
+}
+
+TEST(NMPattern, DensityAndApproximatedSparsity) {
+  const NMPattern p(2, 8);
+  EXPECT_DOUBLE_EQ(p.density(), 0.25);
+  EXPECT_DOUBLE_EQ(p.approximated_sparsity(), 0.75);
+  EXPECT_TRUE(NMPattern(4, 4).is_dense());
+  EXPECT_FALSE(p.is_dense());
+}
+
+TEST(NMPattern, EquivalentSparsityDifferentExpressiveness) {
+  // 1:4 and 2:8 share the approximated sparsity (paper §A.1) but are
+  // distinct patterns.
+  EXPECT_DOUBLE_EQ(NMPattern(1, 4).approximated_sparsity(),
+                   NMPattern(2, 8).approximated_sparsity());
+  EXPECT_NE(NMPattern(1, 4), NMPattern(2, 8));
+}
+
+TEST(Satisfies, DenseMatrixOnlyUnderDensePattern) {
+  MatrixF m(2, 8, 1.0F);
+  EXPECT_FALSE(satisfies(m, NMPattern(2, 4)));
+  EXPECT_TRUE(satisfies(m, NMPattern(4, 4)));
+  EXPECT_TRUE(satisfies(m, NMPattern(8, 8)));
+}
+
+TEST(Satisfies, CountsPerAlignedBlock) {
+  // Row: [1 1 0 0 | 0 0 1 1] — 2 per 4-block: satisfies 2:4, not 1:4.
+  MatrixF m(1, 8, {1, 1, 0, 0, 0, 0, 1, 1});
+  EXPECT_TRUE(satisfies(m, NMPattern(2, 4)));
+  EXPECT_FALSE(satisfies(m, NMPattern(1, 4)));
+  // Straddling non-zeros are fine because blocks are aligned:
+  // [0 0 1 1 | 1 1 0 0] also satisfies 2:4.
+  MatrixF m2(1, 8, {0, 0, 1, 1, 1, 1, 0, 0});
+  EXPECT_TRUE(satisfies(m2, NMPattern(2, 4)));
+}
+
+TEST(Satisfies, RaggedTailBlockChecked) {
+  // cols=6, M=4: tail block has 2 elements; both non-zero violates 1:4.
+  MatrixF m(1, 6, {0, 0, 0, 0, 1, 1});
+  EXPECT_FALSE(satisfies(m, NMPattern(1, 4)));
+  EXPECT_TRUE(satisfies(m, NMPattern(2, 4)));
+}
+
+TEST(Satisfies, ZeroMatrixSatisfiesEverything) {
+  MatrixF m(4, 16);
+  EXPECT_TRUE(satisfies(m, NMPattern(0, 4)));
+  EXPECT_TRUE(satisfies(m, NMPattern(1, 8)));
+}
+
+TEST(CountViolatingBlocks, ExactCount) {
+  // Two rows of 8 with M=4 -> 4 blocks; make 3 of them violate 1:4.
+  MatrixF m(2, 8, {1, 1, 0, 0, 1, 1, 0, 0,
+                   0, 0, 0, 0, 1, 1, 1, 0});
+  EXPECT_EQ(count_violating_blocks(m, NMPattern(1, 4)), 3u);
+  EXPECT_EQ(count_violating_blocks(m, NMPattern(3, 4)), 0u);
+}
+
+TEST(NMPattern, Ordering) {
+  EXPECT_LT(NMPattern(1, 4), NMPattern(2, 4));  // lexicographic (n, m)
+}
+
+}  // namespace
+}  // namespace tasd::sparse

@@ -1,0 +1,100 @@
+#include "sparse/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::sparse {
+namespace {
+
+TEST(BlockHistogram, CountsExactly) {
+  // Row [1 1 0 0 | 1 0 0 0], M=4 -> one block with 2, one with 1.
+  MatrixF m(1, 8, {1, 1, 0, 0, 1, 0, 0, 0});
+  const auto h = block_nnz_histogram(m, 4);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 1u);
+  EXPECT_EQ(h[3], 0u);
+}
+
+TEST(BlockHistogram, TotalBlocksConserved) {
+  Rng rng(51);
+  const MatrixF m = random_unstructured(7, 20, 0.5, Dist::kNormalStd1, rng);
+  const auto h = block_nnz_histogram(m, 8);
+  Index total = 0;
+  for (Index c : h) total += c;
+  EXPECT_EQ(total, 7u * 3u);  // ceil(20/8) = 3 blocks per row
+}
+
+TEST(BlockHistogram, RejectsBadBlockSize) {
+  MatrixF m(1, 4);
+  EXPECT_THROW(block_nnz_histogram(m, 0), tasd::Error);
+}
+
+TEST(ViewCoverage, FullWhenMatrixConforming) {
+  Rng rng(52);
+  const MatrixF m = random_nm_structured(4, 16, 2, 4, Dist::kNormalStd1, rng);
+  EXPECT_DOUBLE_EQ(view_nnz_coverage(m, NMPattern(2, 4)), 1.0);
+  EXPECT_DOUBLE_EQ(view_magnitude_coverage(m, NMPattern(2, 4)), 1.0);
+}
+
+TEST(ViewCoverage, MagnitudeAtLeastNnzCoverage) {
+  // Greedy keeps the largest elements, so magnitude coverage dominates
+  // count coverage (paper Fig. 4 observation: 84 % vs 70 %).
+  Rng rng(53);
+  for (double density : {0.4, 0.7, 1.0}) {
+    const MatrixF m =
+        random_unstructured(16, 64, density, Dist::kNormal, rng);
+    const double nnz_cov = view_nnz_coverage(m, NMPattern(2, 4));
+    const double mag_cov = view_magnitude_coverage(m, NMPattern(2, 4));
+    EXPECT_GE(mag_cov + 1e-12, nnz_cov) << "density " << density;
+  }
+}
+
+TEST(ViewCoverage, ZeroMatrixIsFullyCovered) {
+  MatrixF m(4, 8);
+  EXPECT_DOUBLE_EQ(view_nnz_coverage(m, NMPattern(1, 4)), 1.0);
+  EXPECT_DOUBLE_EQ(view_magnitude_coverage(m, NMPattern(1, 4)), 1.0);
+}
+
+TEST(PseudoDensity, DenseSkewedTensorHasLowPseudoDensity) {
+  // One dominant element: 99 % of the magnitude sits in a tiny fraction
+  // of elements.
+  MatrixF m(1, 100, 0.0001F);
+  m(0, 0) = 100.0F;
+  EXPECT_LT(pseudo_density(m, 0.99), 0.05);
+  EXPECT_DOUBLE_EQ(1.0 - m.sparsity(), 1.0);  // literally dense
+}
+
+TEST(PseudoDensity, UniformTensorHasHighPseudoDensity) {
+  MatrixF m(1, 100, 1.0F);
+  EXPECT_NEAR(pseudo_density(m, 0.99), 0.99, 0.011);
+}
+
+TEST(PseudoDensity, ZeroMatrix) {
+  MatrixF m(2, 2);
+  EXPECT_DOUBLE_EQ(pseudo_density(m, 0.99), 0.0);
+}
+
+TEST(PseudoDensity, MonotoneInCoverage) {
+  Rng rng(54);
+  const MatrixF m = random_dense(8, 32, Dist::kNormalStd1, rng);
+  EXPECT_LE(pseudo_density(m, 0.5), pseudo_density(m, 0.9));
+  EXPECT_LE(pseudo_density(m, 0.9), pseudo_density(m, 0.999));
+}
+
+TEST(PseudoDensity, RejectsBadCoverage) {
+  MatrixF m(1, 4, 1.0F);
+  EXPECT_THROW(pseudo_density(m, 0.0), tasd::Error);
+  EXPECT_THROW(pseudo_density(m, 1.5), tasd::Error);
+}
+
+TEST(Density, Complement) {
+  MatrixF m(1, 4, {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(density(m), 0.25);
+}
+
+}  // namespace
+}  // namespace tasd::sparse

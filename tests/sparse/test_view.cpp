@@ -1,0 +1,98 @@
+#include "sparse/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::sparse {
+namespace {
+
+TEST(NmView, KeepsLargestMagnitudePerBlock) {
+  MatrixF m(1, 4, {1.0F, -3.0F, 2.0F, 0.5F});
+  const MatrixF v = nm_view(m, NMPattern(2, 4));
+  EXPECT_EQ(v(0, 0), 0.0F);
+  EXPECT_EQ(v(0, 1), -3.0F);  // |−3| largest
+  EXPECT_EQ(v(0, 2), 2.0F);
+  EXPECT_EQ(v(0, 3), 0.0F);
+}
+
+TEST(NmView, TieBreaksTowardLowerIndex) {
+  MatrixF m(1, 4, {1.0F, 1.0F, 1.0F, 1.0F});
+  const MatrixF v = nm_view(m, NMPattern(2, 4));
+  EXPECT_EQ(v(0, 0), 1.0F);
+  EXPECT_EQ(v(0, 1), 1.0F);
+  EXPECT_EQ(v(0, 2), 0.0F);
+  EXPECT_EQ(v(0, 3), 0.0F);
+}
+
+TEST(NmView, AlreadyConformingIsIdentity) {
+  Rng rng(41);
+  const MatrixF m = random_nm_structured(4, 16, 2, 4, Dist::kNormalStd1, rng);
+  EXPECT_EQ(nm_view(m, NMPattern(2, 4)), m);
+}
+
+TEST(NmView, ResultAlwaysSatisfiesPattern) {
+  Rng rng(42);
+  for (double density : {0.2, 0.5, 0.9}) {
+    const MatrixF m =
+        random_unstructured(8, 32, density, Dist::kNormalStd1, rng);
+    for (int n = 0; n <= 4; ++n) {
+      EXPECT_TRUE(satisfies(nm_view(m, NMPattern(n, 4)), NMPattern(n, 4)))
+          << "density " << density << " pattern " << n << ":4";
+    }
+  }
+}
+
+TEST(SplitNm, ViewPlusResidualIsExact) {
+  Rng rng(43);
+  const MatrixF m = random_unstructured(8, 24, 0.8, Dist::kNormalStd1, rng);
+  const auto split = split_nm(m, NMPattern(1, 4));
+  MatrixF sum = split.view;
+  sum += split.residual;
+  EXPECT_EQ(sum, m);  // exact: elements are moved, not recomputed
+}
+
+TEST(SplitNm, ViewAndResidualAreDisjoint) {
+  Rng rng(44);
+  const MatrixF m = random_unstructured(6, 16, 0.9, Dist::kNormalStd1, rng);
+  const auto split = split_nm(m, NMPattern(2, 4));
+  auto fv = split.view.flat();
+  auto fr = split.residual.flat();
+  for (Index i = 0; i < fv.size(); ++i)
+    EXPECT_FALSE(fv[i] != 0.0F && fr[i] != 0.0F)
+        << "element " << i << " present in both view and residual";
+}
+
+TEST(SplitNm, ZeroPatternDropsEverything) {
+  Rng rng(45);
+  const MatrixF m = random_dense(4, 8, Dist::kNormalStd1, rng);
+  const auto split = split_nm(m, NMPattern(0, 4));
+  EXPECT_EQ(split.view.nnz(), 0u);
+  EXPECT_EQ(split.residual, m);
+}
+
+TEST(SplitNm, DensePatternKeepsEverything) {
+  Rng rng(46);
+  const MatrixF m = random_dense(4, 8, Dist::kNormalStd1, rng);
+  const auto split = split_nm(m, NMPattern(4, 4));
+  EXPECT_EQ(split.view, m);
+  EXPECT_EQ(split.residual.nnz(), 0u);
+}
+
+TEST(SplitNm, RaggedTailBlock) {
+  // 6 columns, M=4: tail block of 2, N=1 keeps the larger one.
+  MatrixF m(1, 6, {0, 0, 0, 0, 2.0F, -5.0F});
+  const auto split = split_nm(m, NMPattern(1, 4));
+  EXPECT_EQ(split.view(0, 5), -5.0F);
+  EXPECT_EQ(split.view(0, 4), 0.0F);
+  EXPECT_EQ(split.residual(0, 4), 2.0F);
+}
+
+TEST(NmView, EmptyMatrix) {
+  MatrixF m(0, 0);
+  EXPECT_NO_THROW(nm_view(m, NMPattern(2, 4)));
+}
+
+}  // namespace
+}  // namespace tasd::sparse

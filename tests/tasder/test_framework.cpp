@@ -1,0 +1,78 @@
+#include "tasder/framework.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dnn/builders.hpp"
+#include "dnn/pruning.hpp"
+
+namespace tasd::tasder {
+namespace {
+
+dnn::ConvNetOptions tiny() {
+  dnn::ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  return o;
+}
+
+TEST(Framework, SparseModelRoutedToTasdW) {
+  dnn::Model model = dnn::make_resnet(18, tiny());
+  (void)dnn::prune_unstructured(model, 0.92);
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 401);
+  const auto eval = dnn::EvalSet::images(32, 8, 3, 402);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+  const auto r = optimize_model(model, hw, calib, eval, ref);
+  EXPECT_EQ(r.mode, TasderMode::kWeights);
+  EXPECT_GE(r.achieved_agreement, 0.99);
+  EXPECT_LT(r.mac_fraction, 1.0);
+}
+
+TEST(Framework, DenseModelRoutedToTasdA) {
+  dnn::Model model = dnn::make_resnet(18, tiny());
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 403);
+  const auto eval = dnn::EvalSet::images(32, 8, 3, 404);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+  const auto r = optimize_model(model, hw, calib, eval, ref);
+  EXPECT_EQ(r.mode, TasderMode::kActivations);
+  EXPECT_GE(r.achieved_agreement, 0.99);
+}
+
+TEST(Framework, DenseHardwareDoesNothing) {
+  dnn::Model model = dnn::make_resnet(18, tiny());
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 405);
+  const auto eval = dnn::EvalSet::images(16, 8, 3, 406);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::dense_tc());
+  const auto r = optimize_model(model, hw, calib, eval, ref);
+  EXPECT_EQ(r.mode, TasderMode::kNone);
+  for (auto* l : model.gemm_layers()) {
+    EXPECT_FALSE(l->tasd_w().has_value());
+    EXPECT_FALSE(l->tasd_a().has_value());
+  }
+}
+
+TEST(Framework, NoTasdUnitsMeansNoActivationMode) {
+  dnn::Model model = dnn::make_resnet(18, tiny());  // dense weights
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 407);
+  const auto eval = dnn::EvalSet::images(16, 8, 3, 408);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::vegeta_m8_no_tasd());
+  const auto r = optimize_model(model, hw, calib, eval, ref);
+  // Plain VEGETA cannot decompose dense activations dynamically.
+  EXPECT_EQ(r.mode, TasderMode::kNone);
+}
+
+TEST(Framework, ModeNames) {
+  TasderModelResult r;
+  EXPECT_EQ(r.mode_name(), "none");
+  r.mode = TasderMode::kWeights;
+  EXPECT_EQ(r.mode_name(), "TASD-W");
+  r.mode = TasderMode::kActivations;
+  EXPECT_EQ(r.mode_name(), "TASD-A");
+}
+
+}  // namespace
+}  // namespace tasd::tasder

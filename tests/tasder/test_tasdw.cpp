@@ -1,0 +1,119 @@
+#include "tasder/tasdw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dnn/builders.hpp"
+#include "dnn/pruning.hpp"
+
+namespace tasd::tasder {
+namespace {
+
+struct Fixture {
+  dnn::Model model;
+  dnn::EvalSet eval;
+  std::vector<Index> reference;
+  HwProfile hw;
+
+  static Fixture sparse_resnet() {
+    dnn::ConvNetOptions o;
+    o.input_hw = 8;
+    o.width_mult = 0.125;
+    o.num_classes = 10;
+    Fixture f{dnn::make_resnet(18, o), dnn::EvalSet::images(32, 8, 3, 201),
+              {}, hw_profile_from(accel::ArchConfig::ttc_vegeta_m8())};
+    (void)dnn::prune_unstructured(f.model, 0.92);
+    f.reference = dnn::predict(f.model, f.eval);
+    return f;
+  }
+};
+
+TEST(TasdwUniform, LosslessSeriesKeepsFullAgreement) {
+  auto f = Fixture::sparse_resnet();
+  // 4:8+4:8 covers every element: zero drop, full agreement.
+  const auto r = tasdw_apply_uniform(f.model, TasdConfig::parse("4:8+4:8"),
+                                     f.eval, f.reference);
+  EXPECT_DOUBLE_EQ(r.achieved_agreement, 1.0);
+  EXPECT_DOUBLE_EQ(r.mac_fraction, 1.0);
+}
+
+TEST(TasdwUniform, RecordsPerLayerDecisions) {
+  auto f = Fixture::sparse_resnet();
+  const auto r = tasdw_apply_uniform(f.model, TasdConfig::parse("2:8"),
+                                     f.eval, f.reference);
+  EXPECT_EQ(r.decisions.size(), f.model.gemm_layers().size());
+  for (const auto& d : r.decisions) {
+    ASSERT_TRUE(d.config.has_value());
+    EXPECT_DOUBLE_EQ(d.series_density, 0.25);
+  }
+  EXPECT_NEAR(r.mac_fraction, 0.25, 1e-9);
+}
+
+TEST(TasdwNetworkWise, MeetsQualityThreshold) {
+  auto f = Fixture::sparse_resnet();
+  const auto r = tasdw_network_wise(f.model, f.hw, f.eval, f.reference);
+  EXPECT_GE(r.achieved_agreement, 0.99);
+  EXPECT_LT(r.mac_fraction, 1.0);  // found something beneficial
+}
+
+TEST(TasdwLayerWise, MeetsQualityAndBeatsNetworkWise) {
+  auto f = Fixture::sparse_resnet();
+  const auto net = tasdw_network_wise(f.model, f.hw, f.eval, f.reference);
+  f.model.clear_tasd();
+  const auto layer = tasdw_layer_wise(f.model, f.hw, f.eval, f.reference);
+  EXPECT_GE(layer.achieved_agreement, 0.99);
+  // Paper §5.3: layer-wise can adapt aggressiveness per layer, so its
+  // MAC fraction is never (meaningfully) worse.
+  EXPECT_LE(layer.mac_fraction, net.mac_fraction + 0.05);
+}
+
+TEST(TasdwLayerWise, AdaptsAggressivenessPerLayer) {
+  auto f = Fixture::sparse_resnet();
+  const auto r = tasdw_layer_wise(f.model, f.hw, f.eval, f.reference);
+  // Layer-wise TASD-W tailors the series per layer: expect at least one
+  // aggressive choice (<= 0.375 slot density) and more than one distinct
+  // config across the network.
+  bool saw_aggressive = false;
+  std::set<std::string> distinct;
+  for (const auto& d : r.decisions) {
+    if (!d.config) continue;
+    distinct.insert(d.config->str());
+    if (d.series_density <= 0.375 + 1e-9) saw_aggressive = true;
+  }
+  EXPECT_TRUE(saw_aggressive);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(TasdwLayerWise, BinaryAndLinearSearchAgree) {
+  auto f = Fixture::sparse_resnet();
+  TasdwOptions bin;
+  bin.binary_search_prefix = true;
+  const auto r_bin = tasdw_layer_wise(f.model, f.hw, f.eval, f.reference, bin);
+  f.model.clear_tasd();
+  TasdwOptions lin;
+  lin.binary_search_prefix = false;
+  const auto r_lin = tasdw_layer_wise(f.model, f.hw, f.eval, f.reference, lin);
+  // Both must satisfy quality; the linear ("stop at first violation")
+  // variant can only be more conservative.
+  EXPECT_GE(r_bin.achieved_agreement, 0.99);
+  EXPECT_GE(r_lin.achieved_agreement, 0.99);
+  EXPECT_LE(r_bin.mac_fraction, r_lin.mac_fraction + 1e-9);
+}
+
+TEST(TasdwLayerWise, DenseModelGetsConservativeTreatment) {
+  dnn::ConvNetOptions o;
+  o.input_hw = 8;
+  o.width_mult = 0.125;
+  o.num_classes = 10;
+  dnn::Model model = dnn::make_resnet(18, o);  // dense weights
+  const auto eval = dnn::EvalSet::images(32, 8, 3, 202);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+  const auto r = tasdw_layer_wise(model, hw, eval, ref);
+  // Must still respect quality on a dense model (fewer layers converted).
+  EXPECT_GE(r.achieved_agreement, 0.99);
+}
+
+}  // namespace
+}  // namespace tasd::tasder

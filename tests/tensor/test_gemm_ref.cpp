@@ -1,0 +1,85 @@
+#include "tensor/gemm_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+#include "tensor/norms.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(GemmRef, TwoByTwoKnownResult) {
+  MatrixF a(2, 2, {1, 2, 3, 4});
+  MatrixF b(2, 2, {5, 6, 7, 8});
+  MatrixF c = gemm_ref(a, b);
+  EXPECT_EQ(c(0, 0), 19.0F);
+  EXPECT_EQ(c(0, 1), 22.0F);
+  EXPECT_EQ(c(1, 0), 43.0F);
+  EXPECT_EQ(c(1, 1), 50.0F);
+}
+
+TEST(GemmRef, IdentityIsNeutral) {
+  Rng rng(1);
+  MatrixF a = random_dense(5, 5, Dist::kNormalStd1, rng);
+  MatrixF id(5, 5);
+  for (Index i = 0; i < 5; ++i) id(i, i) = 1.0F;
+  EXPECT_TRUE(allclose(gemm_ref(a, id), a));
+  EXPECT_TRUE(allclose(gemm_ref(id, a), a));
+}
+
+TEST(GemmRef, InnerDimMismatchThrows) {
+  MatrixF a(2, 3);
+  MatrixF b(4, 2);
+  EXPECT_THROW(gemm_ref(a, b), Error);
+}
+
+TEST(GemmRef, AccumulateAddsIntoC) {
+  MatrixF a(1, 1, {2.0F});
+  MatrixF b(1, 1, {3.0F});
+  MatrixF c(1, 1, {10.0F});
+  gemm_ref_accumulate(a, b, c);
+  EXPECT_EQ(c(0, 0), 16.0F);
+}
+
+TEST(GemmRef, AccumulateValidatesCShape) {
+  MatrixF a(2, 2);
+  MatrixF b(2, 2);
+  MatrixF c(2, 3);
+  EXPECT_THROW(gemm_ref_accumulate(a, b, c), Error);
+}
+
+TEST(GemmRef, ZeroRowsOfAYieldZeroRowsOfC) {
+  Rng rng(2);
+  MatrixF a(3, 4);  // all zeros
+  MatrixF b = random_dense(4, 5, Dist::kUniform01, rng);
+  MatrixF c = gemm_ref(a, b);
+  for (float v : c.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(GemmRef, LinearInA) {
+  Rng rng(3);
+  MatrixF a = random_dense(4, 6, Dist::kNormalStd1, rng);
+  MatrixF b = random_dense(6, 3, Dist::kNormalStd1, rng);
+  MatrixF a2 = a;
+  a2 *= 2.0F;
+  MatrixF c1 = gemm_ref(a, b);
+  c1 *= 2.0F;
+  EXPECT_TRUE(allclose(gemm_ref(a2, b), c1, 1e-4, 1e-4));
+}
+
+TEST(GemmRef, RectangularShapes) {
+  Rng rng(4);
+  MatrixF a = random_dense(7, 13, Dist::kNormalStd1, rng);
+  MatrixF b = random_dense(13, 2, Dist::kNormalStd1, rng);
+  MatrixF c = gemm_ref(a, b);
+  EXPECT_EQ(c.rows(), 7u);
+  EXPECT_EQ(c.cols(), 2u);
+  // Check one element by hand.
+  float acc = 0.0F;
+  for (Index p = 0; p < 13; ++p) acc += a(3, p) * b(p, 1);
+  EXPECT_NEAR(c(3, 1), acc, 1e-4);
+}
+
+}  // namespace
+}  // namespace tasd

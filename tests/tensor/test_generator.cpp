@@ -1,0 +1,107 @@
+#include "tensor/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/pattern.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(Generator, DenseHasNoStructuralZeros) {
+  Rng rng(5);
+  MatrixF m = random_dense(32, 32, Dist::kUniform01, rng);
+  // U[0,1) draws exact zero with probability ~0: expect near-full density.
+  EXPECT_GT(1.0 - m.sparsity(), 0.999);
+}
+
+TEST(Generator, UnstructuredHitsTargetDensity) {
+  Rng rng(6);
+  const double density = 0.3;
+  MatrixF m = random_unstructured(100, 100, density, Dist::kNormalStd1, rng);
+  EXPECT_NEAR(1.0 - m.sparsity(), density, 0.03);
+}
+
+TEST(Generator, UnstructuredExtremes) {
+  Rng rng(7);
+  MatrixF empty = random_unstructured(10, 10, 0.0, Dist::kNormalStd1, rng);
+  EXPECT_EQ(empty.nnz(), 0u);
+  MatrixF full = random_unstructured(10, 10, 1.0, Dist::kNormalStd1, rng);
+  EXPECT_EQ(full.nnz(), 100u);
+}
+
+TEST(Generator, UnstructuredRejectsBadDensity) {
+  Rng rng(8);
+  EXPECT_THROW(random_unstructured(2, 2, -0.1, Dist::kNormalStd1, rng), Error);
+  EXPECT_THROW(random_unstructured(2, 2, 1.5, Dist::kNormalStd1, rng), Error);
+}
+
+TEST(Generator, NmStructuredSatisfiesPattern) {
+  Rng rng(9);
+  MatrixF m = random_nm_structured(16, 64, 2, 4, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(sparse::satisfies(m, sparse::NMPattern(2, 4)));
+  // Exactly 2 non-zeros per full block.
+  EXPECT_EQ(m.nnz(), 16u * (64u / 4u) * 2u);
+}
+
+TEST(Generator, NmStructuredHandlesRaggedTail) {
+  Rng rng(10);
+  // cols = 10, blocks of 4: tail block has 2 elements.
+  MatrixF m = random_nm_structured(4, 10, 3, 4, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(sparse::satisfies(m, sparse::NMPattern(3, 4)));
+}
+
+TEST(Generator, NmStructuredRejectsInvalidPattern) {
+  Rng rng(11);
+  EXPECT_THROW(random_nm_structured(2, 8, 5, 4, Dist::kNormalStd1, rng), Error);
+  EXPECT_THROW(random_nm_structured(2, 8, 1, 0, Dist::kNormalStd1, rng), Error);
+}
+
+TEST(Generator, MagnitudePruneExactCount) {
+  Rng rng(12);
+  MatrixF m = random_dense(20, 20, Dist::kNormalStd1, rng);
+  MatrixF pruned = magnitude_prune(m, 0.75);
+  EXPECT_EQ(pruned.nnz(), 100u);
+  EXPECT_DOUBLE_EQ(pruned.sparsity(), 0.75);
+}
+
+TEST(Generator, MagnitudePruneKeepsLargest) {
+  MatrixF m(1, 4, {0.1F, -5.0F, 0.2F, 3.0F});
+  MatrixF pruned = magnitude_prune(m, 0.5);
+  EXPECT_EQ(pruned(0, 0), 0.0F);
+  EXPECT_EQ(pruned(0, 1), -5.0F);
+  EXPECT_EQ(pruned(0, 2), 0.0F);
+  EXPECT_EQ(pruned(0, 3), 3.0F);
+}
+
+TEST(Generator, MagnitudePruneZeroTargetIsIdentity) {
+  Rng rng(13);
+  MatrixF m = random_dense(5, 5, Dist::kNormalStd1, rng);
+  EXPECT_EQ(magnitude_prune(m, 0.0), m);
+}
+
+TEST(Generator, MagnitudePruneFullTargetZeroesAll) {
+  Rng rng(14);
+  MatrixF m = random_dense(5, 5, Dist::kNormalStd1, rng);
+  EXPECT_EQ(magnitude_prune(m, 1.0).nnz(), 0u);
+}
+
+TEST(Generator, TensorDensityTarget) {
+  Rng rng(15);
+  Tensor4D t = random_tensor(2, 8, 8, 8, 0.5, Dist::kNormalStd1, rng);
+  EXPECT_NEAR(1.0 - t.sparsity(), 0.5, 0.05);
+}
+
+TEST(Generator, DistributionsDiffer) {
+  Rng rng_a(16);
+  Rng rng_b(16);
+  MatrixF u = random_dense(50, 50, Dist::kUniform01, rng_a);
+  MatrixF n = random_dense(50, 50, Dist::kNormalStd1, rng_b);
+  // Uniform draws are non-negative; normal draws are not.
+  bool any_negative = false;
+  for (float v : n.flat()) any_negative |= v < 0.0F;
+  EXPECT_TRUE(any_negative);
+  for (float v : u.flat()) EXPECT_GE(v, 0.0F);
+}
+
+}  // namespace
+}  // namespace tasd

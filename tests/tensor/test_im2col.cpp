@@ -1,0 +1,132 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/gemm_ref.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd {
+namespace {
+
+/// Direct (naive) convolution as the oracle for im2col+GEMM.
+Tensor4D direct_conv(const Tensor4D& in, const MatrixF& w,
+                     const ConvShape& s) {
+  const Index oh = s.out_h(in.h());
+  const Index ow = s.out_w(in.w());
+  Tensor4D out(in.n(), s.out_channels, oh, ow);
+  for (Index b = 0; b < in.n(); ++b)
+    for (Index oc = 0; oc < s.out_channels; ++oc)
+      for (Index y = 0; y < oh; ++y)
+        for (Index x = 0; x < ow; ++x) {
+          float acc = 0.0F;
+          for (Index ic = 0; ic < s.in_channels; ++ic)
+            for (Index kh = 0; kh < s.kernel_h; ++kh)
+              for (Index kw = 0; kw < s.kernel_w; ++kw) {
+                const auto iy = static_cast<std::ptrdiff_t>(y * s.stride + kh) -
+                                static_cast<std::ptrdiff_t>(s.padding);
+                const auto ix = static_cast<std::ptrdiff_t>(x * s.stride + kw) -
+                                static_cast<std::ptrdiff_t>(s.padding);
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::ptrdiff_t>(in.h()) ||
+                    ix >= static_cast<std::ptrdiff_t>(in.w()))
+                  continue;
+                const Index widx =
+                    (ic * s.kernel_h + kh) * s.kernel_w + kw;
+                acc += w(oc, widx) * in(b, ic, static_cast<Index>(iy),
+                                        static_cast<Index>(ix));
+              }
+          out(b, oc, y, x) = acc;
+        }
+  return out;
+}
+
+struct Im2colCase {
+  Index in_ch, out_ch, hw, kernel, stride, padding;
+};
+
+class Im2colEquivalence : public ::testing::TestWithParam<Im2colCase> {};
+
+TEST_P(Im2colEquivalence, MatchesDirectConvolution) {
+  const auto p = GetParam();
+  Rng rng(100 + p.kernel * 10 + p.stride);
+  ConvShape s;
+  s.in_channels = p.in_ch;
+  s.out_channels = p.out_ch;
+  s.kernel_h = s.kernel_w = p.kernel;
+  s.stride = p.stride;
+  s.padding = p.padding;
+
+  const Tensor4D in =
+      random_tensor(2, p.in_ch, p.hw, p.hw, 1.0, Dist::kNormalStd1, rng);
+  const MatrixF w = random_dense(p.out_ch, p.in_ch * p.kernel * p.kernel,
+                                 Dist::kNormalStd1, rng);
+  const Tensor4D oracle = direct_conv(in, w, s);
+
+  const Index oh = s.out_h(in.h());
+  const Index ow = s.out_w(in.w());
+  Tensor4D out(in.n(), p.out_ch, oh, ow);
+  for (Index b = 0; b < in.n(); ++b) {
+    const MatrixF patches = im2col(in, b, s);
+    EXPECT_EQ(patches.rows(), p.in_ch * p.kernel * p.kernel);
+    EXPECT_EQ(patches.cols(), oh * ow);
+    col2im_output(gemm_ref(w, patches), b, oh, ow, out);
+  }
+  auto fa = out.flat();
+  auto fb = oracle.flat();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (Index i = 0; i < fa.size(); ++i) EXPECT_NEAR(fa[i], fb[i], 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colEquivalence,
+    ::testing::Values(Im2colCase{1, 1, 4, 1, 1, 0},   // pointwise
+                      Im2colCase{3, 4, 6, 3, 1, 1},   // padded 3x3
+                      Im2colCase{2, 5, 8, 3, 2, 1},   // strided
+                      Im2colCase{4, 2, 5, 5, 1, 2},   // 5x5 kernel
+                      Im2colCase{3, 3, 7, 2, 2, 0},   // even kernel, stride 2
+                      Im2colCase{1, 8, 9, 3, 3, 0})); // stride 3
+
+TEST(Im2col, PaddingFillsZeros) {
+  ConvShape s;
+  s.in_channels = 1;
+  s.out_channels = 1;
+  s.kernel_h = s.kernel_w = 3;
+  s.stride = 1;
+  s.padding = 1;
+  Tensor4D in(1, 1, 2, 2);
+  in(0, 0, 0, 0) = 1.0F;
+  const MatrixF patches = im2col(in, 0, s);
+  // Patch at output (0,0): kernel centered at (0,0); the top-left kernel
+  // positions fall in the padding -> zero.
+  EXPECT_EQ(patches(0, 0), 0.0F);   // (kh=0,kw=0) out of bounds
+  EXPECT_EQ(patches(4, 0), 1.0F);   // center hits in(0,0)
+}
+
+TEST(Im2col, RejectsWrongChannelCount) {
+  ConvShape s;
+  s.in_channels = 3;
+  s.out_channels = 1;
+  Tensor4D in(1, 2, 4, 4);
+  EXPECT_THROW(im2col(in, 0, s), Error);
+}
+
+TEST(Im2col, RejectsKernelLargerThanPaddedInput) {
+  ConvShape s;
+  s.in_channels = 1;
+  s.out_channels = 1;
+  s.kernel_h = s.kernel_w = 5;
+  Tensor4D in(1, 1, 3, 3);
+  EXPECT_THROW(im2col(in, 0, s), Error);
+}
+
+TEST(Col2Im, ValidatesShapes) {
+  Tensor4D out(1, 2, 2, 2);
+  MatrixF wrong_rows(3, 4);
+  EXPECT_THROW(col2im_output(wrong_rows, 0, 2, 2, out), Error);
+  MatrixF wrong_cols(2, 3);
+  EXPECT_THROW(col2im_output(wrong_cols, 0, 2, 2, out), Error);
+}
+
+}  // namespace
+}  // namespace tasd

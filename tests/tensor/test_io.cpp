@@ -1,0 +1,80 @@
+#include "tensor/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(MatrixIo, CsvRoundTripExact) {
+  Rng rng(9101);
+  const MatrixF m = random_unstructured(7, 11, 0.5, Dist::kNormalStd1, rng);
+  const auto path = temp_path("m.csv");
+  save_matrix_csv(m, path);
+  EXPECT_EQ(load_matrix_csv(path), m);  // %.9g is lossless for float32
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinaryRoundTripExact) {
+  Rng rng(9102);
+  const MatrixF m = random_dense(13, 5, Dist::kNormalStd1, rng);
+  const auto path = temp_path("m.bin");
+  save_matrix_binary(m, path);
+  EXPECT_EQ(load_matrix_binary(path), m);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MissingFileThrows) {
+  EXPECT_THROW(load_matrix_csv("/nonexistent/nope.csv"), Error);
+  EXPECT_THROW(load_matrix_binary("/nonexistent/nope.bin"), Error);
+}
+
+TEST(MatrixIo, RaggedCsvRejected) {
+  const auto path = temp_path("ragged.csv");
+  std::ofstream(path) << "1,2,3\n4,5\n";
+  EXPECT_THROW(load_matrix_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, MalformedCellRejected) {
+  const auto path = temp_path("bad.csv");
+  std::ofstream(path) << "1,abc\n";
+  EXPECT_THROW(load_matrix_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, EmptyCsvRejected) {
+  const auto path = temp_path("empty.csv");
+  std::ofstream(path) << "";
+  EXPECT_THROW(load_matrix_csv(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, WrongMagicRejected) {
+  const auto path = temp_path("notmat.bin");
+  std::ofstream(path, std::ios::binary) << "GARBAGE!" << std::string(16, 'x');
+  EXPECT_THROW(load_matrix_binary(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, SpecialValuesSurviveCsv) {
+  MatrixF m(1, 3, {-0.0F, 1e-38F, 3.4e38F});
+  const auto path = temp_path("special.csv");
+  save_matrix_csv(m, path);
+  const MatrixF back = load_matrix_csv(path);
+  EXPECT_EQ(back(0, 1), 1e-38F);
+  EXPECT_EQ(back(0, 2), 3.4e38F);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tasd

@@ -1,0 +1,109 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  MatrixF m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  MatrixF m(3, 4);
+  for (float v : m.flat()) EXPECT_EQ(v, 0.0F);
+  EXPECT_EQ(m.size(), 12u);
+}
+
+TEST(Matrix, FillConstructor) {
+  MatrixF m(2, 2, 7.0F);
+  for (float v : m.flat()) EXPECT_EQ(v, 7.0F);
+}
+
+TEST(Matrix, FlatConstructorChecksSize) {
+  EXPECT_THROW(MatrixF(2, 3, std::vector<float>{1.0F}), Error);
+  EXPECT_NO_THROW(MatrixF(1, 2, std::vector<float>{1.0F, 2.0F}));
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  MatrixF m(2, 3, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(m(0, 0), 0.0F);
+  EXPECT_EQ(m(0, 2), 2.0F);
+  EXPECT_EQ(m(1, 0), 3.0F);
+  EXPECT_EQ(m(1, 2), 5.0F);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  MatrixF m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowViewIsContiguous) {
+  MatrixF m(2, 3, {0, 1, 2, 3, 4, 5});
+  auto r = m.row(1);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 3.0F);
+  EXPECT_EQ(r[2], 5.0F);
+  r[0] = 9.0F;
+  EXPECT_EQ(m(1, 0), 9.0F);
+}
+
+TEST(Matrix, AddSubtract) {
+  MatrixF a(2, 2, {1, 2, 3, 4});
+  MatrixF b(2, 2, {4, 3, 2, 1});
+  MatrixF sum = a + b;
+  for (float v : sum.flat()) EXPECT_EQ(v, 5.0F);
+  MatrixF diff = sum - b;
+  EXPECT_EQ(diff, a);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  MatrixF a(2, 2);
+  MatrixF b(2, 3);
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(Matrix, ScalarScale) {
+  MatrixF a(1, 3, {1, 2, 3});
+  a *= 2.0F;
+  EXPECT_EQ(a(0, 2), 6.0F);
+}
+
+TEST(Matrix, Transposed) {
+  MatrixF a(2, 3, {1, 2, 3, 4, 5, 6});
+  MatrixF t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4.0F);
+  EXPECT_EQ(t(2, 0), 3.0F);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, NnzAndSparsity) {
+  MatrixF a(2, 2, {0, 1, 0, 2});
+  EXPECT_EQ(a.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(a.sparsity(), 0.5);
+}
+
+TEST(Matrix, EmptySparsityIsZero) {
+  MatrixF m;
+  EXPECT_DOUBLE_EQ(m.sparsity(), 0.0);
+}
+
+TEST(Matrix, ExactEquality) {
+  MatrixF a(1, 2, {1.0F, 2.0F});
+  MatrixF b(1, 2, {1.0F, 2.0F});
+  MatrixF c(2, 1, {1.0F, 2.0F});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);  // same data, different shape
+}
+
+}  // namespace
+}  // namespace tasd

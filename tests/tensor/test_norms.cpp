@@ -1,0 +1,76 @@
+#include "tensor/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasd {
+namespace {
+
+TEST(Norms, FrobeniusKnownValue) {
+  MatrixF m(1, 2, {3.0F, 4.0F});
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(Norms, FrobeniusOfZeroMatrix) {
+  MatrixF m(3, 3);
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 0.0);
+}
+
+TEST(Norms, MagnitudeSumUsesAbs) {
+  MatrixF m(1, 3, {-1.0F, 2.0F, -3.0F});
+  EXPECT_DOUBLE_EQ(magnitude_sum(m), 6.0);
+  EXPECT_DOUBLE_EQ(element_sum(m), -2.0);
+}
+
+TEST(Norms, MseKnownValue) {
+  MatrixF a(1, 2, {1.0F, 2.0F});
+  MatrixF b(1, 2, {3.0F, 2.0F});
+  EXPECT_DOUBLE_EQ(mse(a, b), 2.0);  // (4 + 0) / 2
+}
+
+TEST(Norms, MseShapeMismatchThrows) {
+  MatrixF a(1, 2);
+  MatrixF b(2, 1);
+  EXPECT_THROW(mse(a, b), Error);
+}
+
+TEST(Norms, RelativeErrorZeroForIdentical) {
+  MatrixF a(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a, a), 0.0);
+}
+
+TEST(Norms, RelativeErrorOfZeroReference) {
+  MatrixF zero(2, 2);
+  MatrixF other(2, 2, 1.0F);
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(zero, zero), 0.0);
+  EXPECT_TRUE(std::isinf(relative_frobenius_error(zero, other)));
+}
+
+TEST(Norms, RelativeErrorScaleInvariant) {
+  MatrixF a(1, 2, {2.0F, 0.0F});
+  MatrixF b(1, 2, {1.0F, 0.0F});
+  // ||a-b||/||a|| = 1/2 regardless of global scaling.
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a, b), 0.5);
+  MatrixF a2 = a;
+  a2 *= 10.0F;
+  MatrixF b2 = b;
+  b2 *= 10.0F;
+  EXPECT_DOUBLE_EQ(relative_frobenius_error(a2, b2), 0.5);
+}
+
+TEST(Norms, AllcloseTolerances) {
+  MatrixF a(1, 1, {1.0F});
+  MatrixF b(1, 1, {1.0001F});
+  EXPECT_TRUE(allclose(a, b, 1e-3, 0.0));
+  EXPECT_FALSE(allclose(a, b, 1e-6, 1e-6));
+}
+
+TEST(Norms, AllcloseShapeMismatchIsFalse) {
+  MatrixF a(1, 2);
+  MatrixF b(2, 1);
+  EXPECT_FALSE(allclose(a, b));
+}
+
+}  // namespace
+}  // namespace tasd

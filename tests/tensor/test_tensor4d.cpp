@@ -1,0 +1,56 @@
+#include "tensor/tensor4d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(Tensor4D, ShapeAndZeroInit) {
+  Tensor4D t(2, 3, 4, 5);
+  EXPECT_EQ(t.n(), 2u);
+  EXPECT_EQ(t.c(), 3u);
+  EXPECT_EQ(t.h(), 4u);
+  EXPECT_EQ(t.w(), 5u);
+  EXPECT_EQ(t.size(), 120u);
+  for (float v : t.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor4D, NchwLayout) {
+  Tensor4D t(1, 2, 2, 2);
+  t(0, 1, 1, 1) = 5.0F;
+  // NCHW: last element of flat storage.
+  EXPECT_EQ(t.flat()[7], 5.0F);
+  t(0, 0, 0, 1) = 3.0F;
+  EXPECT_EQ(t.flat()[1], 3.0F);
+}
+
+TEST(Tensor4D, AtBoundsCheck) {
+  Tensor4D t(1, 1, 2, 2);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 0, 2, 0), Error);
+  EXPECT_NO_THROW(t.at(0, 0, 1, 1));
+}
+
+TEST(Tensor4D, NnzSparsity) {
+  Tensor4D t(1, 1, 2, 2);
+  t(0, 0, 0, 0) = 1.0F;
+  EXPECT_EQ(t.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(t.sparsity(), 0.75);
+}
+
+TEST(Tensor4D, AsMatrixExtractsBatchItem) {
+  Tensor4D t(2, 2, 1, 2);
+  t(1, 0, 0, 0) = 1.0F;
+  t(1, 1, 0, 1) = 2.0F;
+  MatrixF m = t.as_matrix(1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(0, 0), 1.0F);
+  EXPECT_EQ(m(1, 1), 2.0F);
+  EXPECT_THROW(t.as_matrix(2), Error);
+}
+
+}  // namespace
+}  // namespace tasd

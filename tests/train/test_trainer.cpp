@@ -1,0 +1,78 @@
+#include "train/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tasd::train {
+namespace {
+
+Dataset small_train() { return Dataset::synthetic(16, 4, 256, 0.6, 20, 21); }
+Dataset small_test() { return Dataset::synthetic(16, 4, 128, 0.6, 20, 22); }
+
+TEST(Dataset, SyntheticShapes) {
+  const Dataset d = Dataset::synthetic(8, 3, 50, 0.5, 1, 2);
+  EXPECT_EQ(d.inputs.rows(), 8u);
+  EXPECT_EQ(d.inputs.cols(), 50u);
+  EXPECT_EQ(d.labels.size(), 50u);
+  for (Index l : d.labels) EXPECT_LT(l, 3u);
+}
+
+TEST(Dataset, RejectsDegenerateClassCount) {
+  EXPECT_THROW(Dataset::synthetic(8, 1, 10, 0.5, 1, 2), Error);
+}
+
+TEST(Trainer, BaselineLearnsTheTask) {
+  Mlp mlp({16, 32, 4}, 31);
+  TrainOptions opt;
+  opt.epochs = 15;
+  const auto r = train(mlp, small_train(), small_test(), opt);
+  // Loss decreases and accuracy ends well above the 25 % chance level.
+  EXPECT_LT(r.loss_per_epoch.back(), r.loss_per_epoch.front());
+  EXPECT_GT(r.final_test_accuracy, 0.7);
+}
+
+TEST(Trainer, LosslessHooksReproduceBaseline) {
+  Mlp a({16, 32, 4}, 33);
+  Mlp b({16, 32, 4}, 33);
+  TrainOptions plain;
+  plain.epochs = 5;
+  TrainOptions hooked = plain;
+  hooked.hooks.gradients = TasdConfig::parse("4:8+4:8");
+  hooked.hooks.activations = TasdConfig::parse("4:8+4:8");
+  const auto ra = train(a, small_train(), small_test(), plain);
+  const auto rb = train(b, small_train(), small_test(), hooked);
+  EXPECT_DOUBLE_EQ(ra.final_test_accuracy, rb.final_test_accuracy);
+}
+
+TEST(Trainer, MildTasdHooksPreserveConvergence) {
+  // The §6.2 hypothesis: approximating backward operands with a
+  // moderately sparse series still trains.
+  Mlp plain_mlp({16, 32, 4}, 35);
+  Mlp hooked_mlp({16, 32, 4}, 35);
+  TrainOptions plain;
+  plain.epochs = 15;
+  TrainOptions hooked = plain;
+  hooked.hooks.gradients = TasdConfig::parse("4:8");
+  const auto rp = train(plain_mlp, small_train(), small_test(), plain);
+  const auto rh = train(hooked_mlp, small_train(), small_test(), hooked);
+  EXPECT_GT(rh.final_test_accuracy, rp.final_test_accuracy - 0.1);
+}
+
+TEST(Trainer, HookDescriptionRecordsConfigs) {
+  Mlp mlp({16, 8, 4}, 37);
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.hooks.activations = TasdConfig::parse("2:8");
+  const auto r = train(mlp, small_train(), small_test(), opt);
+  EXPECT_NE(r.hook_description.find("act=2:8"), std::string::npos);
+  EXPECT_NE(r.hook_description.find("grad=none"), std::string::npos);
+}
+
+TEST(Trainer, RejectsInvalidOptions) {
+  Mlp mlp({16, 8, 4}, 39);
+  TrainOptions opt;
+  opt.batch = 0;
+  EXPECT_THROW(train(mlp, small_train(), small_test(), opt), Error);
+}
+
+}  // namespace
+}  // namespace tasd::train
