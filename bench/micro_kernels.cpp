@@ -1,9 +1,23 @@
-// Kernel microbenchmarks (google-benchmark): decomposition throughput,
-// dense vs N:M-compressed GEMM, and the TASD-series GEMM.
-#include <benchmark/benchmark.h>
+// Kernel microbenchmarks: dense vs N:M-compressed vs TASD-series GEMM
+// across the parallel execution layer's thread counts, plus
+// decomposition and plan-cache throughput.
+//
+// Emits BENCH_kernels.json (schema tasd-bench-kernels-v2). Every
+// parallel measurement is checked bit-exact against the serial result
+// before it is recorded — a wrong-but-fast kernel fails loudly here.
+//
+// Usage: micro_kernels [output.json] [--quick]
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "core/decompose.hpp"
+#include "core/plan_cache.hpp"
 #include "runtime/dense_gemm.hpp"
 #include "runtime/nm_gemm.hpp"
 #include "tensor/generator.hpp"
@@ -12,63 +26,163 @@ namespace {
 
 using namespace tasd;
 
-void BM_Decompose(benchmark::State& state) {
-  Rng rng(9001);
-  const auto cfg = TasdConfig::parse(state.range(0) == 1 ? "2:4" : "4:8+1:8");
-  const MatrixF m = random_unstructured(256, 256, 0.3, Dist::kNormalStd1, rng);
-  for (auto _ : state) {
-    auto d = decompose(m, cfg);
-    benchmark::DoNotOptimize(d.residual.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(m.size()));
-}
-BENCHMARK(BM_Decompose)->Arg(1)->Arg(2);
+struct Entry {
+  std::string kernel;
+  Index m = 0, k = 0, n = 0;
+  std::string config;
+  double sparsity = 0.0;
+  std::size_t threads = 1;
+  double ms = 0.0;
+  double gops = 0.0;
+  double speedup_vs_serial = 1.0;
+  bool bit_exact = true;
+};
 
-void BM_DenseGemm(benchmark::State& state) {
-  const auto n = static_cast<Index>(state.range(0));
-  Rng rng(9002);
-  const MatrixF a = random_dense(n, n, Dist::kNormalStd1, rng);
-  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
-  for (auto _ : state) {
-    MatrixF c = rt::dense_gemm(a, b);
-    benchmark::DoNotOptimize(c.data());
+/// Run `make_result` at every thread count, timing it and checking the
+/// output bit-exact against the serial (1-thread) result.
+void sweep(const std::string& kernel, Index m, Index k, Index n,
+           const std::string& config, double sparsity, double macs,
+           int repeats, const std::vector<std::size_t>& thread_counts,
+           const std::function<MatrixF(rt::ExecPolicy&)>& make_result,
+           std::vector<Entry>& out) {
+  double serial_ms = 0.0;
+  MatrixF serial_result;
+  for (std::size_t threads : thread_counts) {
+    rt::ThreadPool pool(threads);
+    rt::ExecPolicy policy;
+    policy.pool = &pool;
+    MatrixF result = make_result(policy);
+    const double ms =
+        time_ms_min(repeats, [&] { result = make_result(policy); });
+    Entry e{kernel, m,  k,  n, config, sparsity, threads, ms,
+            macs / (ms * 1e6),  // 1e9 ops/s from ms
+            1.0, true};
+    if (threads == thread_counts.front()) {
+      serial_ms = ms;
+      serial_result = std::move(result);
+    } else {
+      e.speedup_vs_serial = serial_ms / ms;
+      e.bit_exact = (result == serial_result);
+    }
+    std::fprintf(stderr, "%-12s %4zux%-4zux%-4zu %-8s t=%zu  %8.3f ms%s\n",
+                 kernel.c_str(), static_cast<std::size_t>(m),
+                 static_cast<std::size_t>(k), static_cast<std::size_t>(n),
+                 config.empty() ? "-" : config.c_str(), threads, e.ms,
+                 e.bit_exact ? "" : "  ** NOT BIT-EXACT **");
+    out.push_back(std::move(e));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n) * n * n);
 }
-BENCHMARK(BM_DenseGemm)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_NmGemm24(benchmark::State& state) {
-  const auto n = static_cast<Index>(state.range(0));
-  Rng rng(9003);
-  const MatrixF dense = random_dense(n, n, Dist::kNormalStd1, rng);
-  const auto d = decompose(dense, TasdConfig::parse("2:4"));
-  const sparse::NMSparseMatrix a = d.terms[0].compressed();
-  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
-  for (auto _ : state) {
-    MatrixF c = rt::nm_gemm(a, b);
-    benchmark::DoNotOptimize(c.data());
+void write_json(const std::string& path, const std::vector<Entry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::perror("micro_kernels: cannot open output");
+    std::exit(1);
   }
-  // Half the dense MACs are executed.
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n) * n * n / 2);
-}
-BENCHMARK(BM_NmGemm24)->Arg(128)->Arg(256)->Arg(512);
-
-void BM_TasdSeriesGemm(benchmark::State& state) {
-  const auto n = static_cast<Index>(state.range(0));
-  Rng rng(9004);
-  const MatrixF dense = random_dense(n, n, Dist::kNormalStd1, rng);
-  const rt::TasdSeriesGemm series(decompose(dense, TasdConfig::parse("4:8+1:8")));
-  const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
-  for (auto _ : state) {
-    MatrixF c = series.multiply(b);
-    benchmark::DoNotOptimize(c.data());
+  std::fprintf(f, "{\n  \"schema\": \"tasd-bench-kernels-v2\",\n");
+  std::fprintf(f, "  \"entries\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    std::fprintf(
+        f,
+        "    {\"kernel\": \"%s\", \"m\": %zu, \"k\": %zu, \"n\": %zu, "
+        "\"config\": \"%s\", \"sparsity\": %.6f, \"threads\": %zu, "
+        "\"ms\": %.6f, \"gops\": %.6f, \"speedup_vs_serial\": %.6f, "
+        "\"bit_exact\": %s}%s\n",
+        e.kernel.c_str(), static_cast<std::size_t>(e.m),
+        static_cast<std::size_t>(e.k), static_cast<std::size_t>(e.n),
+        e.config.c_str(), e.sparsity, e.threads, e.ms, e.gops,
+        e.speedup_vs_serial, e.bit_exact ? "true" : "false",
+        i + 1 < entries.size() ? "," : "");
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n) * n * n * 5 / 8);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
-BENCHMARK(BM_TasdSeriesGemm)->Arg(128)->Arg(256)->Arg(512);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_kernels.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const int repeats = quick ? 1 : 3;
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+  const std::vector<Index> gemm_sizes =
+      quick ? std::vector<Index>{128, 256} : std::vector<Index>{256, 512, 1024};
+
+  std::vector<Entry> entries;
+  Rng rng(9001);
+
+  // Dense GEMM (every MAC executed).
+  for (Index n : gemm_sizes) {
+    const MatrixF a = random_dense(n, n, Dist::kNormalStd1, rng);
+    const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+    sweep("dense_gemm", n, n, n, "", 0.0,
+          2.0 * static_cast<double>(n) * n * n, repeats, thread_counts,
+          [&](rt::ExecPolicy& p) { return rt::dense_gemm(a, b, p); },
+          entries);
+  }
+
+  // 2:4-compressed GEMM over a 50 %-sparse operand.
+  for (Index n : gemm_sizes) {
+    const MatrixF dense = random_dense(n, n, Dist::kNormalStd1, rng);
+    const auto d = decompose(dense, TasdConfig::parse("2:4"));
+    const sparse::NMSparseMatrix a = d.terms[0].compressed();
+    const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+    sweep("nm_gemm", n, n, n, "2:4", 0.5,
+          2.0 * static_cast<double>(a.nnz()) * n, repeats, thread_counts,
+          [&](rt::ExecPolicy& p) { return rt::nm_gemm(a, b, p); }, entries);
+  }
+
+  // TASD-series GEMM (4:8+1:8) over a 90 %-sparse operand, executed from
+  // a cached DecompositionPlan exactly the way the engine runs it.
+  for (Index n : gemm_sizes) {
+    const MatrixF dense =
+        random_unstructured(n, n, 0.1, Dist::kNormalStd1, rng);
+    const auto plan =
+        plan_cache().get_or_build(dense, TasdConfig::parse("4:8+1:8"));
+    const rt::TasdSeriesGemm series(plan);
+    const MatrixF b = random_dense(n, n, Dist::kNormalStd1, rng);
+    sweep("tasd_gemm", n, n, n, "4:8+1:8", 0.9,
+          2.0 * static_cast<double>(series.nnz()) * n, repeats,
+          thread_counts,
+          [&](rt::ExecPolicy& p) { return series.multiply(b, p); }, entries);
+  }
+
+  // Decomposition throughput: cold build_plan vs plan-cache hit.
+  {
+    const Index sz = quick ? 256 : 1024;
+    const auto cfg = TasdConfig::parse("4:8+1:8");
+    const MatrixF m =
+        random_unstructured(sz, sz, 0.3, Dist::kNormalStd1, rng);
+    const double cold_ms = time_ms_min(repeats, [&] {
+      const auto p = build_plan(m, cfg);
+      (void)p;
+    });
+    entries.push_back({"decompose_cold", sz, sz, 0, cfg.str(), 0.7, 1,
+                       cold_ms, 0.0, 1.0, true});
+    plan_cache().get_or_build(m, cfg);  // warm
+    const double hit_ms = time_ms_min(repeats, [&] {
+      const auto p = plan_cache().get_or_build(m, cfg);
+      (void)p;
+    });
+    entries.push_back({"decompose_cached", sz, sz, 0, cfg.str(), 0.7, 1,
+                       hit_ms, 0.0, cold_ms / std::max(hit_ms, 1e-9), true});
+  }
+
+  write_json(out_path, entries);
+  const bool all_exact =
+      std::all_of(entries.begin(), entries.end(),
+                  [](const Entry& e) { return e.bit_exact; });
+  std::fprintf(stderr, "wrote %s (%zu entries)%s\n", out_path.c_str(),
+               entries.size(), all_exact ? "" : "  ** EXACTNESS FAILURES **");
+  return all_exact ? 0 : 1;
+}

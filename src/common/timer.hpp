@@ -1,7 +1,9 @@
 // Wall-clock timing for the CPU runtime experiments.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 
 namespace tasd {
 
@@ -25,5 +27,17 @@ class Timer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Best (minimum) wall-clock milliseconds of `fn` over `repeats` runs —
+/// the measurement rule the engine and the benches share.
+inline double time_ms_min(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
 
 }  // namespace tasd

@@ -1,6 +1,7 @@
 #include "core/approx_stats.hpp"
 
 #include "common/error.hpp"
+#include "core/plan_cache.hpp"
 #include "tensor/norms.hpp"
 
 namespace tasd {
@@ -44,7 +45,11 @@ ApproxStats approx_stats(const MatrixF& original, const Decomposition& d) {
 }
 
 ApproxStats approx_stats(const MatrixF& original, const TasdConfig& config) {
-  return approx_stats(original, decompose(original, config));
+  // Served from the plan cache: TASDER's search asks for the same
+  // (weights, config) stats over and over. build_plan computes the
+  // identical numbers from the residual without materializing dense
+  // terms.
+  return plan_cache().get_or_build(original, config)->stats;
 }
 
 }  // namespace tasd

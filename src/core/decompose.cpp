@@ -1,6 +1,7 @@
 #include "core/decompose.hpp"
 
 #include "common/error.hpp"
+#include "core/plan_cache.hpp"
 #include "sparse/view.hpp"
 
 namespace tasd {
@@ -37,7 +38,10 @@ Decomposition decompose(const MatrixF& matrix, const TasdConfig& config) {
 }
 
 MatrixF approximate(const MatrixF& matrix, const TasdConfig& config) {
-  return decompose(matrix, config).approximation();
+  // Served from the plan cache (bit-identical to the dense path: every
+  // element lands in at most one term). Layer forward passes re-request
+  // the same weight approximation after every TASDER re-configuration.
+  return plan_cache().get_or_build(matrix, config)->approximation();
 }
 
 }  // namespace tasd

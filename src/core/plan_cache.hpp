@@ -1,0 +1,102 @@
+// Decomposition plans and the process-wide plan cache.
+//
+// A DecompositionPlan is the execution-path form of a TASD decomposition:
+// every term is held directly in the compressed N:M format the runtime
+// kernels consume — no dense per-term MatrixF is ever materialized — plus
+// the approximation-quality statistics TASDER's search needs. Plans for
+// the same (matrix contents, shape, config) are expensive to rebuild and
+// bit-identical every time, so PlanCache memoizes them: the engine,
+// TASDER and the benches all decompose a given weight matrix exactly
+// once.
+//
+// The dense-term Decomposition in core/decompose.hpp remains the
+// functional model used by tests and the accuracy experiments;
+// build_plan() peels the same series with the same selection rule, so
+// plan terms decompress to exactly the Decomposition's dense terms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/approx_stats.hpp"
+#include "core/config.hpp"
+#include "sparse/nm_matrix.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd {
+
+/// Compressed, execution-ready decomposition of one matrix.
+struct DecompositionPlan {
+  TasdConfig config;
+  Index rows = 0;
+  Index cols = 0;
+  /// One compressed term per series pattern, in series order.
+  std::vector<sparse::NMSparseMatrix> terms;
+  /// Quality of the approximation vs. the original matrix (identical to
+  /// approx_stats(original, decompose(original, config))).
+  ApproxStats stats;
+
+  /// Total stored non-zeros across terms.
+  [[nodiscard]] Index nnz() const;
+
+  /// Dense Σ terms (bit-identical to Decomposition::approximation():
+  /// every element lives in at most one term, so no summation-order
+  /// effects exist).
+  [[nodiscard]] MatrixF approximation() const;
+};
+
+/// Decompose `matrix` straight into compressed form (no per-term dense
+/// intermediates). Uncached building block; prefer plan_cache().
+DecompositionPlan build_plan(const MatrixF& matrix, const TasdConfig& config);
+
+/// Cache observability counters (monotonic since process start or the
+/// last reset_stats()).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t decompositions = 0;  ///< plans actually built (== misses)
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe LRU cache of DecompositionPlans keyed on (matrix
+/// fingerprint, shape, config). The fingerprint hashes the full matrix
+/// contents, so logically-equal matrices share an entry regardless of
+/// where they live.
+class PlanCache {
+ public:
+  /// Process-wide instance. Capacity defaults to 256 plans and can be
+  /// overridden with the TASD_PLAN_CACHE_CAPACITY environment variable.
+  static PlanCache& instance();
+
+  explicit PlanCache(std::size_t capacity);
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Return the cached plan for (matrix, config), building and inserting
+  /// it on miss.
+  std::shared_ptr<const DecompositionPlan> get_or_build(
+      const MatrixF& matrix, const TasdConfig& config);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  void reset_stats();
+
+  /// Number of cached plans.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drop every cached plan (stats are kept).
+  void clear();
+
+  /// Change capacity; evicts LRU entries if shrinking below size().
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Shorthand for PlanCache::instance().
+PlanCache& plan_cache();
+
+}  // namespace tasd

@@ -1,6 +1,7 @@
 #include "core/tasd_gemm.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "tensor/gemm_ref.hpp"
 
 namespace tasd {
@@ -16,8 +17,15 @@ MatrixF tasd_gemm(const Decomposition& a_decomposed, const MatrixF& b) {
                      << a_decomposed.residual.cols() << " vs B rows "
                      << b.rows());
   MatrixF c(a_decomposed.residual.rows(), b.cols());
-  for (const auto& term : a_decomposed.terms)
-    gemm_ref_accumulate(term.dense, b, c);
+  // Row-parallel over the output; within a row the terms accumulate in
+  // series order, exactly the sequence the serial term-major loop
+  // produced per element, so results are bit-identical at every thread
+  // count. Grain 8 matches the runtime kernels' row grain: below that,
+  // fork/join overhead beats the win.
+  rt::parallel_for(0, c.rows(), 8, [&](Index row_begin, Index row_end) {
+    for (const auto& term : a_decomposed.terms)
+      gemm_ref_accumulate_rows(term.dense, b, c, row_begin, row_end);
+  });
   return c;
 }
 

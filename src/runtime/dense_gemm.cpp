@@ -4,37 +4,19 @@
 
 namespace tasd::rt {
 
-MatrixF dense_gemm(const MatrixF& a, const MatrixF& b) {
+MatrixF dense_gemm(const MatrixF& a, const MatrixF& b,
+                   const ExecPolicy& policy) {
   MatrixF c(a.rows(), b.cols());
-  dense_gemm_accumulate(a, b, c);
+  dense_gemm_accumulate(a, b, c, policy);
   return c;
 }
 
-void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                           const ExecPolicy& policy) {
   TASD_CHECK_MSG(a.cols() == b.rows(), "GEMM inner dim mismatch");
   TASD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  const Index m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j with 4-wide k unrolling; every MAC executed (no zero skip).
-  for (Index i = 0; i < m; ++i) {
-    float* __restrict crow = c.data() + i * n;
-    const float* arow = a.data() + i * k;
-    Index p = 0;
-    for (; p + 4 <= k; p += 4) {
-      const float a0 = arow[p], a1 = arow[p + 1];
-      const float a2 = arow[p + 2], a3 = arow[p + 3];
-      const float* __restrict b0 = b.data() + p * n;
-      const float* __restrict b1 = b0 + n;
-      const float* __restrict b2 = b1 + n;
-      const float* __restrict b3 = b2 + n;
-      for (Index j = 0; j < n; ++j)
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-    }
-    for (; p < k; ++p) {
-      const float av = arow[p];
-      const float* __restrict brow = b.data() + p * n;
-      for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmDispatch::instance().dense(policy.dense_kernel)(a, b, c,
+                                                      resolve_pool(policy));
 }
 
 }  // namespace tasd::rt

@@ -5,16 +5,24 @@
 // correctness oracle), this kernel performs *every* MAC, exactly like
 // dense hardware: the speed-up of the N:M kernel over this one comes only
 // from structured compression, which is the effect the paper measures.
+//
+// Execution routes through the GemmDispatch kernel registry; pass an
+// ExecPolicy to pick a pool or kernel, or take the defaults (default
+// pool, tiled row-parallel kernel). Results are bit-identical at every
+// thread count.
 #pragma once
 
+#include "runtime/gemm_dispatch.hpp"
 #include "tensor/matrix.hpp"
 
 namespace tasd::rt {
 
 /// C = A * B with no zero-skipping; A is MxK, B is KxN.
-MatrixF dense_gemm(const MatrixF& a, const MatrixF& b);
+MatrixF dense_gemm(const MatrixF& a, const MatrixF& b,
+                   const ExecPolicy& policy = {});
 
 /// C += A * B into a preallocated accumulator.
-void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c);
+void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                           const ExecPolicy& policy = {});
 
 }  // namespace tasd::rt

@@ -3,28 +3,16 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "core/plan_cache.hpp"
 #include "runtime/dense_gemm.hpp"
 #include "tensor/generator.hpp"
 
 namespace tasd::rt {
-
-namespace {
-
-double time_ms_min(int repeats, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int r = 0; r < repeats; ++r) {
-    Timer t;
-    fn();
-    best = std::min(best, t.millis());
-  }
-  return best;
-}
-
-}  // namespace
 
 std::vector<LayerTiming> measure_workload(
     const dnn::NetworkWorkload& net,
@@ -35,6 +23,11 @@ std::vector<LayerTiming> measure_workload(
   Rng rng(opt.data_seed);
   std::vector<LayerTiming> out;
   out.reserve(net.layers.size());
+
+  std::optional<ThreadPool> dedicated;
+  if (opt.num_threads != 0) dedicated.emplace(opt.num_threads);
+  ExecPolicy policy;
+  policy.pool = dedicated ? &*dedicated : nullptr;
 
   for (std::size_t i = 0; i < net.layers.size(); ++i) {
     const auto& layer = net.layers[i];
@@ -50,17 +43,21 @@ std::vector<LayerTiming> measure_workload(
 
     volatile float sink = 0.0F;  // defeat dead-code elimination
     t.dense_ms = time_ms_min(opt.repeats, [&] {
-      const MatrixF c = dense_gemm(w, b);
+      const MatrixF c = dense_gemm(w, b, policy);
       sink = sink + c(0, 0);
     });
 
     if (t.config) {
-      const Decomposition d = decompose(w, *t.config);
-      const TasdSeriesGemm series(d);
+      const TasdSeriesGemm series =
+          opt.use_plan_cache
+              ? TasdSeriesGemm(plan_cache().get_or_build(w, *t.config))
+              : TasdSeriesGemm(
+                    std::make_shared<const DecompositionPlan>(
+                        build_plan(w, *t.config)));
       t.kept_nnz_fraction =
           static_cast<double>(series.nnz()) / static_cast<double>(w.size());
       t.tasd_ms = time_ms_min(opt.repeats, [&] {
-        const MatrixF c = series.multiply(b);
+        const MatrixF c = series.multiply(b, policy);
         sink = sink + c(0, 0);
       });
     }

@@ -42,6 +42,15 @@ struct EngineOptions {
   /// Timing repetitions; the minimum is reported.
   int repeats = 3;
   std::uint64_t data_seed = 99;
+  /// Kernel parallelism. 0 = the process default (TASD_NUM_THREADS, or
+  /// hardware concurrency when unset); any other value builds a dedicated
+  /// pool of that size for this measurement. Timings change with the
+  /// thread count, kernel *results* never do.
+  std::size_t num_threads = 0;
+  /// Reuse decompositions from the process-wide PlanCache: repeated
+  /// measurements of the same weights (TASDER sweeps, bench reruns)
+  /// perform zero additional decompositions.
+  bool use_plan_cache = true;
 };
 
 /// Measure every layer of a workload under the given per-layer configs

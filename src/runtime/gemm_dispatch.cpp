@@ -1,0 +1,204 @@
+#include "runtime/gemm_dispatch.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "tensor/gemm_ref.hpp"
+
+namespace tasd::rt {
+
+ThreadPool& resolve_pool(const ExecPolicy& policy) {
+  return policy.pool ? *policy.pool : default_pool();
+}
+
+// ------------------------------------------------------ row-range cores
+
+void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     Index row_begin, Index row_end) {
+  const Index k = a.cols(), n = b.cols();
+  // j-tile sized to keep the C row segment plus four B row segments in
+  // L1 while streaming; per-element accumulation order (k ascending,
+  // 4-wide) is independent of the tile size.
+  constexpr Index kTileN = 512;
+  for (Index i = row_begin; i < row_end; ++i) {
+    float* __restrict crow = c.data() + i * n;
+    const float* arow = a.data() + i * k;
+    for (Index jt = 0; jt < n; jt += kTileN) {
+      const Index je = std::min(n, jt + kTileN);
+      Index p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = arow[p], a1 = arow[p + 1];
+        const float a2 = arow[p + 2], a3 = arow[p + 3];
+        const float* __restrict b0 = b.data() + p * n;
+        const float* __restrict b1 = b0 + n;
+        const float* __restrict b2 = b1 + n;
+        const float* __restrict b3 = b2 + n;
+        for (Index j = jt; j < je; ++j)
+          crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+      }
+      for (; p < k; ++p) {
+        const float av = arow[p];
+        const float* __restrict brow = b.data() + p * n;
+        for (Index j = jt; j < je; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                  MatrixF& c, Index row_begin, Index row_end) {
+  const Index n = b.cols();
+  const auto m = static_cast<Index>(a.pattern().m);
+  const auto& values = a.values();
+  const auto& idx = a.in_block_index();
+  const auto& offsets = a.block_offsets();
+  const Index blocks_per_row = a.blocks_per_row();
+
+  for (Index r = row_begin; r < row_end; ++r) {
+    float* __restrict crow = c.data() + r * n;
+    Index group = r * blocks_per_row;
+    for (Index blk = 0; blk < blocks_per_row; ++blk, ++group) {
+      const Index k_base = blk * m;
+      for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
+        const float av = values[s];
+        const float* __restrict brow = b.data() + (k_base + idx[s]) * n;
+        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- registry
+
+struct GemmDispatch::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, DenseKernel> dense;
+  std::map<std::string, NmKernel> nm;
+  std::string default_dense;
+  std::string default_nm;
+};
+
+namespace {
+
+// Row grain: below this many rows per chunk the fork/join overhead beats
+// the win; partitioning stays deterministic either way.
+constexpr std::size_t kRowGrain = 8;
+
+void dense_tiled_parallel(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                          ThreadPool& pool) {
+  pool.parallel_for(0, a.rows(), kRowGrain,
+                    [&](Index r0, Index r1) { dense_gemm_rows(a, b, c, r0, r1); });
+}
+
+void dense_tiled_serial(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                        ThreadPool& /*pool*/) {
+  dense_gemm_rows(a, b, c, 0, a.rows());
+}
+
+void dense_reference(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     ThreadPool& /*pool*/) {
+  gemm_ref_accumulate(a, b, c);
+}
+
+void nm_row_parallel(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                     MatrixF& c, ThreadPool& pool) {
+  pool.parallel_for(0, a.rows(), kRowGrain,
+                    [&](Index r0, Index r1) { nm_gemm_rows(a, b, c, r0, r1); });
+}
+
+void nm_serial(const sparse::NMSparseMatrix& a, const MatrixF& b, MatrixF& c,
+               ThreadPool& /*pool*/) {
+  nm_gemm_rows(a, b, c, 0, a.rows());
+}
+
+}  // namespace
+
+GemmDispatch::GemmDispatch() : impl_(new Impl) {
+  impl_->dense["tiled-parallel"] = dense_tiled_parallel;
+  impl_->dense["tiled-serial"] = dense_tiled_serial;
+  impl_->dense["reference"] = dense_reference;
+  impl_->default_dense = "tiled-parallel";
+  impl_->nm["row-parallel"] = nm_row_parallel;
+  impl_->nm["serial"] = nm_serial;
+  impl_->default_nm = "row-parallel";
+}
+
+GemmDispatch& GemmDispatch::instance() {
+  static GemmDispatch dispatch;
+  return dispatch;
+}
+
+void GemmDispatch::register_dense(const std::string& name,
+                                  DenseKernel kernel) {
+  TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
+  std::lock_guard lock(impl_->mutex);
+  impl_->dense[name] = std::move(kernel);
+}
+
+void GemmDispatch::register_nm(const std::string& name, NmKernel kernel) {
+  TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
+  std::lock_guard lock(impl_->mutex);
+  impl_->nm[name] = std::move(kernel);
+}
+
+void GemmDispatch::set_default_dense(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  TASD_CHECK_MSG(impl_->dense.contains(name),
+                 "unknown dense kernel '" << name << "'");
+  impl_->default_dense = name;
+}
+
+void GemmDispatch::set_default_nm(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  TASD_CHECK_MSG(impl_->nm.contains(name),
+                 "unknown N:M kernel '" << name << "'");
+  impl_->default_nm = name;
+}
+
+std::vector<std::string> GemmDispatch::dense_kernels() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->dense.size());
+  for (const auto& [name, _] : impl_->dense) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> GemmDispatch::nm_kernels() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->nm.size());
+  for (const auto& [name, _] : impl_->nm) names.push_back(name);
+  return names;
+}
+
+std::string GemmDispatch::default_dense() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->default_dense;
+}
+
+std::string GemmDispatch::default_nm() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->default_nm;
+}
+
+DenseKernel GemmDispatch::dense(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  const std::string& key = name.empty() ? impl_->default_dense : name;
+  const auto it = impl_->dense.find(key);
+  TASD_CHECK_MSG(it != impl_->dense.end(),
+                 "unknown dense kernel '" << key << "'");
+  return it->second;
+}
+
+NmKernel GemmDispatch::nm(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  const std::string& key = name.empty() ? impl_->default_nm : name;
+  const auto it = impl_->nm.find(key);
+  TASD_CHECK_MSG(it != impl_->nm.end(),
+                 "unknown N:M kernel '" << key << "'");
+  return it->second;
+}
+
+}  // namespace tasd::rt

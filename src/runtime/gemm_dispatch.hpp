@@ -1,0 +1,95 @@
+// GemmDispatch: the kernel registry every GEMM path routes through.
+//
+// All dense and N:M-compressed CPU kernels register here by name; callers
+// pick one through an ExecPolicy (or take the default). This is the seam
+// future backends (batched, sharded, SIMD-specialized) plug into without
+// touching call sites, and what lets the benches sweep kernels and thread
+// counts uniformly.
+//
+// Built-in dense kernels:
+//   "tiled-parallel"  row-parallel, j-tiled, 4-wide k-unrolled (default)
+//   "tiled-serial"    the same arithmetic on one thread
+//   "reference"       the tensor/gemm_ref correctness oracle
+// Built-in N:M kernels:
+//   "row-parallel"    row-parallel compressed traversal (default)
+//   "serial"          the same arithmetic on one thread
+//
+// Every kernel partitions work by output row with no shared float
+// accumulation, so all of them produce bit-identical results at every
+// thread count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "sparse/nm_matrix.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tasd::rt {
+
+/// How a GEMM call should execute: which pool and which kernels. The
+/// defaults (null pool, empty names) mean "the process default pool and
+/// the registry's default kernels".
+struct ExecPolicy {
+  ThreadPool* pool = nullptr;
+  std::string dense_kernel;
+  std::string nm_kernel;
+};
+
+/// Resolve the pool an ExecPolicy designates.
+ThreadPool& resolve_pool(const ExecPolicy& policy);
+
+/// A dense kernel accumulates C += A * B using the given pool.
+using DenseKernel = std::function<void(const MatrixF& a, const MatrixF& b,
+                                       MatrixF& c, ThreadPool& pool)>;
+
+/// An N:M kernel accumulates C += A * B for a compressed A.
+using NmKernel =
+    std::function<void(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                       MatrixF& c, ThreadPool& pool)>;
+
+/// Thread-safe named registry of GEMM kernels.
+class GemmDispatch {
+ public:
+  /// Process-wide registry, pre-populated with the built-ins.
+  static GemmDispatch& instance();
+
+  void register_dense(const std::string& name, DenseKernel kernel);
+  void register_nm(const std::string& name, NmKernel kernel);
+  void set_default_dense(const std::string& name);
+  void set_default_nm(const std::string& name);
+
+  /// Registered kernel names, sorted.
+  [[nodiscard]] std::vector<std::string> dense_kernels() const;
+  [[nodiscard]] std::vector<std::string> nm_kernels() const;
+  [[nodiscard]] std::string default_dense() const;
+  [[nodiscard]] std::string default_nm() const;
+
+  /// Look up a kernel ("" = the default). Throws tasd::Error on unknown
+  /// names.
+  [[nodiscard]] DenseKernel dense(const std::string& name = {}) const;
+  [[nodiscard]] NmKernel nm(const std::string& name = {}) const;
+
+ private:
+  GemmDispatch();
+  struct Impl;
+  Impl* impl_;
+};
+
+// ------------------------------------------------------ row-range cores
+// The serial units the kernels partition over; exposed so composite
+// kernels (TASD series) and tests can drive exact row ranges.
+
+/// Dense C += A*B restricted to output rows [row_begin, row_end):
+/// j-tiled, 4-wide k-unrolled, every MAC executed (no zero skip).
+void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     Index row_begin, Index row_end);
+
+/// Compressed N:M C += A*B restricted to output rows [row_begin,
+/// row_end).
+void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                  MatrixF& c, Index row_begin, Index row_end);
+
+}  // namespace tasd::rt

@@ -4,54 +4,50 @@
 
 namespace tasd::rt {
 
-MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b) {
+MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                const ExecPolicy& policy) {
   MatrixF c(a.rows(), b.cols());
-  nm_gemm_accumulate(a, b, c);
+  nm_gemm_accumulate(a, b, c, policy);
   return c;
 }
 
 void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
-                        MatrixF& c) {
+                        MatrixF& c, const ExecPolicy& policy) {
   TASD_CHECK_MSG(a.cols() == b.rows(), "N:M GEMM inner dim mismatch");
   TASD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  const Index n = b.cols();
-  const auto m = static_cast<Index>(a.pattern().m);
-  const auto& values = a.values();
-  const auto& idx = a.in_block_index();
-  const auto& offsets = a.block_offsets();
-  const Index blocks_per_row = a.blocks_per_row();
-
-  Index group = 0;
-  for (Index r = 0; r < a.rows(); ++r) {
-    float* __restrict crow = c.data() + r * n;
-    for (Index blk = 0; blk < blocks_per_row; ++blk, ++group) {
-      const Index k_base = blk * m;
-      for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
-        const float av = values[s];
-        const float* __restrict brow = b.data() + (k_base + idx[s]) * n;
-        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }
+  GemmDispatch::instance().nm(policy.nm_kernel)(a, b, c,
+                                                resolve_pool(policy));
 }
 
 TasdSeriesGemm::TasdSeriesGemm(const Decomposition& decomposition)
     : rows_(decomposition.residual.rows()),
       cols_(decomposition.residual.cols()) {
-  terms_.reserve(decomposition.terms.size());
-  for (const auto& t : decomposition.terms) terms_.push_back(t.compressed());
+  owned_terms_.reserve(decomposition.terms.size());
+  for (const auto& t : decomposition.terms)
+    owned_terms_.push_back(t.compressed());
 }
 
-MatrixF TasdSeriesGemm::multiply(const MatrixF& b) const {
+TasdSeriesGemm::TasdSeriesGemm(std::shared_ptr<const DecompositionPlan> plan)
+    : rows_(plan->rows), cols_(plan->cols), plan_(std::move(plan)) {}
+
+MatrixF TasdSeriesGemm::multiply(const MatrixF& b,
+                                 const ExecPolicy& policy) const {
   TASD_CHECK_MSG(cols_ == b.rows(), "TASD series GEMM inner dim mismatch");
   MatrixF c(rows_, b.cols());
-  for (const auto& t : terms_) nm_gemm_accumulate(t, b, c);
+  // Term-major through the registry so kernel selection (policy or
+  // set_default_nm) applies to the series path too. Per output element
+  // the accumulation order is terms in series order, k ascending within
+  // a term — identical at every thread count and for every row-partition
+  // kernel.
+  const NmKernel kernel = GemmDispatch::instance().nm(policy.nm_kernel);
+  ThreadPool& pool = resolve_pool(policy);
+  for (const auto& t : terms()) kernel(t, b, c, pool);
   return c;
 }
 
 Index TasdSeriesGemm::nnz() const {
   Index total = 0;
-  for (const auto& t : terms_) total += t.nnz();
+  for (const auto& t : terms()) total += t.nnz();
   return total;
 }
 

@@ -2,20 +2,30 @@
 // of a sparse tensor core: it executes one MAC per *stored* value, so a
 // 2:4-compressed operand does half the work of the dense kernel through
 // the same inner loop.
+//
+// Execution routes through the GemmDispatch kernel registry (row-parallel
+// by default, bit-identical at every thread count). TASD series can run
+// from a cached DecompositionPlan so the weights are decomposed and
+// compressed exactly once.
 #pragma once
 
+#include <memory>
+
 #include "core/decompose.hpp"
+#include "core/plan_cache.hpp"
+#include "runtime/gemm_dispatch.hpp"
 #include "sparse/nm_matrix.hpp"
 #include "tensor/matrix.hpp"
 
 namespace tasd::rt {
 
 /// C = A_compressed * B.
-MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b);
+MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                const ExecPolicy& policy = {});
 
 /// C += A_compressed * B.
 void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
-                        MatrixF& c);
+                        MatrixF& c, const ExecPolicy& policy = {});
 
 /// C = Σ_i term_i * B over a whole TASD series (distributive execution of
 /// the decomposed GEMM, paper §3.2). Terms are pre-compressed once.
@@ -24,20 +34,32 @@ class TasdSeriesGemm {
   /// Compress the decomposition's terms for repeated execution.
   explicit TasdSeriesGemm(const Decomposition& decomposition);
 
-  /// Execute against a dense right-hand side.
-  [[nodiscard]] MatrixF multiply(const MatrixF& b) const;
+  /// Execute a cached plan's terms (shares the plan's compressed storage;
+  /// no copy, no re-decomposition).
+  explicit TasdSeriesGemm(std::shared_ptr<const DecompositionPlan> plan);
+
+  /// Execute against a dense right-hand side. Row-parallel: each output
+  /// row accumulates its terms in series order, matching the serial
+  /// term-major loop bit-for-bit.
+  [[nodiscard]] MatrixF multiply(const MatrixF& b,
+                                 const ExecPolicy& policy = {}) const;
 
   /// Stored non-zeros across terms.
   [[nodiscard]] Index nnz() const;
 
   [[nodiscard]] Index rows() const { return rows_; }
   [[nodiscard]] Index cols() const { return cols_; }
-  [[nodiscard]] std::size_t term_count() const { return terms_.size(); }
+  [[nodiscard]] std::size_t term_count() const { return terms().size(); }
 
  private:
+  [[nodiscard]] const std::vector<sparse::NMSparseMatrix>& terms() const {
+    return plan_ ? plan_->terms : owned_terms_;
+  }
+
   Index rows_ = 0;
   Index cols_ = 0;
-  std::vector<sparse::NMSparseMatrix> terms_;
+  std::vector<sparse::NMSparseMatrix> owned_terms_;
+  std::shared_ptr<const DecompositionPlan> plan_;
 };
 
 }  // namespace tasd::rt

@@ -32,6 +32,29 @@ NMSparseMatrix::NMSparseMatrix(const MatrixF& dense, NMPattern pattern)
   }
 }
 
+NMSparseMatrix NMSparseMatrix::from_parts(
+    NMPattern pattern, Index rows, Index cols, std::vector<float> values,
+    std::vector<std::uint8_t> in_block_index,
+    std::vector<Index> block_offsets) {
+  TASD_CHECK_MSG(pattern.m <= 256, "in-block index stored as u8; M <= 256");
+  NMSparseMatrix out;
+  out.pattern_ = pattern;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  const auto m = static_cast<Index>(pattern.m);
+  out.blocks_per_row_ = (cols + m - 1) / m;
+  TASD_CHECK_MSG(
+      block_offsets.size() == rows * out.blocks_per_row_ + 1,
+      "block_offsets must hold rows*blocks_per_row+1 entries");
+  TASD_CHECK(values.size() == in_block_index.size());
+  TASD_CHECK(block_offsets.front() == 0 &&
+             block_offsets.back() == values.size());
+  out.values_ = std::move(values);
+  out.in_block_index_ = std::move(in_block_index);
+  out.block_offsets_ = std::move(block_offsets);
+  return out;
+}
+
 double NMSparseMatrix::sparsity() const {
   const Index total = rows_ * cols_;
   if (total == 0) return 0.0;

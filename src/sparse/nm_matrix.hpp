@@ -25,6 +25,15 @@ class NMSparseMatrix {
   /// use nm_view()/decomposition to make a conforming matrix first).
   NMSparseMatrix(const MatrixF& dense, NMPattern pattern);
 
+  /// Assemble from pre-compressed storage (the direct-compression
+  /// decomposition path builds these arrays without a dense
+  /// intermediate). The arrays must obey the grouping invariant
+  /// documented on the accessors below; sizes are checked.
+  static NMSparseMatrix from_parts(NMPattern pattern, Index rows, Index cols,
+                                   std::vector<float> values,
+                                   std::vector<std::uint8_t> in_block_index,
+                                   std::vector<Index> block_offsets);
+
   [[nodiscard]] const NMPattern& pattern() const { return pattern_; }
   [[nodiscard]] Index rows() const { return rows_; }
   [[nodiscard]] Index cols() const { return cols_; }

@@ -57,4 +57,43 @@ ViewSplit split_nm(const MatrixF& matrix, const NMPattern& pattern) {
   return out;
 }
 
+NMSparseMatrix extract_term_inplace(MatrixF& residual,
+                                    const NMPattern& pattern) {
+  const auto m = static_cast<Index>(pattern.m);
+  const Index cols = residual.cols();
+  const Index blocks_per_row = (cols + m - 1) / m;
+
+  std::vector<float> values;
+  std::vector<std::uint8_t> in_block_index;
+  std::vector<Index> block_offsets;
+  block_offsets.reserve(residual.rows() * blocks_per_row + 1);
+  block_offsets.push_back(0);
+
+  std::vector<Index> selected;
+  for (Index r = 0; r < residual.rows(); ++r) {
+    auto row = residual.row(r);
+    for (Index b = 0; b < cols; b += m) {
+      const Index end = std::min(cols, b + m);
+      select_top_n(row, b, end, pattern.n, selected);
+      // Emit in ascending column order — the order NMSparseMatrix's
+      // dense-compression constructor produces — skipping zeros the way
+      // compression does. Extracted elements move: they vanish from the
+      // residual, so view + residual stays exact.
+      std::sort(selected.begin(), selected.end());
+      for (Index i : selected) {
+        if (row[i] != 0.0F) {
+          values.push_back(row[i]);
+          in_block_index.push_back(static_cast<std::uint8_t>(i - b));
+        }
+        row[i] = 0.0F;
+      }
+      block_offsets.push_back(values.size());
+    }
+  }
+  return NMSparseMatrix::from_parts(pattern, residual.rows(), cols,
+                                    std::move(values),
+                                    std::move(in_block_index),
+                                    std::move(block_offsets));
+}
+
 }  // namespace tasd::sparse

@@ -3,6 +3,7 @@
 // block. This single primitive is the building block of TASD terms.
 #pragma once
 
+#include "sparse/nm_matrix.hpp"
 #include "sparse/pattern.hpp"
 #include "tensor/matrix.hpp"
 
@@ -22,5 +23,13 @@ struct ViewSplit {
   MatrixF residual;
 };
 ViewSplit split_nm(const MatrixF& matrix, const NMPattern& pattern);
+
+/// Extract the `pattern` view of `residual` directly into compressed
+/// form, zeroing the extracted elements in `residual` in place.
+/// Equivalent to split_nm followed by compressing the view — same
+/// selection, same tie-breaking — but never materializes the dense view
+/// (the execution-path variant used by DecompositionPlan).
+NMSparseMatrix extract_term_inplace(MatrixF& residual,
+                                    const NMPattern& pattern);
 
 }  // namespace tasd::sparse

@@ -14,9 +14,14 @@ void gemm_ref_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c) {
                                            << ", B is " << b.rows() << "x"
                                            << b.cols());
   TASD_CHECK(c.rows() == a.rows() && c.cols() == b.cols());
-  const Index m = a.rows(), k = a.cols(), n = b.cols();
+  gemm_ref_accumulate_rows(a, b, c, 0, a.rows());
+}
+
+void gemm_ref_accumulate_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                              Index row_begin, Index row_end) {
+  const Index k = a.cols(), n = b.cols();
   // i-k-j loop order keeps B and C accesses sequential.
-  for (Index i = 0; i < m; ++i) {
+  for (Index i = row_begin; i < row_end; ++i) {
     for (Index p = 0; p < k; ++p) {
       const float av = a(i, p);
       if (av == 0.0F) continue;  // honest work-skipping for sparse A

@@ -41,7 +41,9 @@ TEST(FrozenNorm, StatsDoNotDriftOnLaterBatches) {
   // zero mean — frozen stats pass the shift through.
   Tensor4D shifted = batch(2);
   for (float& v : shifted.flat()) v += 5.0F;
-  const Tensor4D& t = conv->forward(Feature(shifted)).tensor();
+  // Copy out of the temporary Feature: tensor() returns a reference into
+  // it, which dies at the end of the full expression.
+  const Tensor4D t = conv->forward(Feature(shifted)).tensor();
   double mean = 0.0;
   for (float v : t.flat()) mean += v;
   mean /= static_cast<double>(t.size());
@@ -66,8 +68,9 @@ TEST(FrozenNorm, ResetRecalibrates) {
   Tensor4D shifted = batch(5);
   for (float& v : shifted.flat()) v += 5.0F;
   conv->reset_norm_calibration();
-  // Recalibrated on the shifted batch: output mean back near zero.
-  const Tensor4D& t = conv->forward(Feature(shifted)).tensor();
+  // Recalibrated on the shifted batch: output mean back near zero. Copy
+  // out of the temporary Feature (tensor() returns a reference into it).
+  const Tensor4D t = conv->forward(Feature(shifted)).tensor();
   double mean = 0.0;
   for (float v : t.flat()) mean += v;
   mean /= static_cast<double>(t.size());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/plan_cache.hpp"
+
 namespace tasd::rt {
 namespace {
 
@@ -88,6 +90,59 @@ TEST(Engine, ConversionOrderPrefersBiggestSavings) {
   EXPECT_EQ(order[0], 1u);
   EXPECT_EQ(order[1], 0u);
   EXPECT_EQ(order[2], 2u);
+}
+
+TEST(Engine, SecondMeasurementPassDecomposesNothing) {
+  const auto net = tiny_net();
+  EngineOptions opt;
+  opt.n_divisor = 4;
+  opt.repeats = 1;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), TasdConfig::parse("2:4")};
+
+  (void)measure_workload(net, cfgs, opt);  // warm the plan cache
+  const auto before = plan_cache().stats();
+  (void)measure_workload(net, cfgs, opt);
+  const auto after = plan_cache().stats();
+  EXPECT_EQ(after.decompositions, before.decompositions)
+      << "a second pass over the same weights must perform zero "
+         "additional decompositions";
+  EXPECT_GE(after.hits, before.hits + 2);
+}
+
+TEST(Engine, PlanCacheOptOutStillDecomposes) {
+  const auto net = tiny_net();
+  EngineOptions opt;
+  opt.n_divisor = 4;
+  opt.repeats = 1;
+  opt.use_plan_cache = false;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), std::nullopt};
+  const auto before = plan_cache().stats();
+  const auto timings = measure_workload(net, cfgs, opt);
+  const auto after = plan_cache().stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_GT(timings[0].tasd_ms, 0.0);
+}
+
+TEST(Engine, ExplicitThreadCountMatchesDefaultResults) {
+  // Timings differ with the thread count; measured layer metadata (the
+  // kept-non-zero fraction comes from the kernel-visible plan) must not.
+  const auto net = tiny_net();
+  EngineOptions serial;
+  serial.n_divisor = 4;
+  serial.repeats = 1;
+  serial.num_threads = 1;
+  EngineOptions parallel = serial;
+  parallel.num_threads = 4;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), TasdConfig::parse("1:4")};
+  const auto a = measure_workload(net, cfgs, serial);
+  const auto b = measure_workload(net, cfgs, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].kept_nnz_fraction, b[i].kept_nnz_fraction);
 }
 
 TEST(Engine, MonotoneSpeedupInConvertedLayers) {

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "core/plan_cache.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/pruning.hpp"
 
@@ -66,6 +67,20 @@ TEST(TasdwLayerWise, MeetsQualityAndBeatsNetworkWise) {
   // Paper §5.3: layer-wise can adapt aggressiveness per layer, so its
   // MAC fraction is never (meaningfully) worse.
   EXPECT_LE(layer.mac_fraction, net.mac_fraction + 0.05);
+}
+
+TEST(TasdwLayerWise, SecondPassOverSameWeightsDecomposesNothing) {
+  auto f = Fixture::sparse_resnet();
+  (void)tasdw_layer_wise(f.model, f.hw, f.eval, f.reference);  // warm
+  f.model.clear_tasd();
+  const auto before = plan_cache().stats();
+  const auto r = tasdw_layer_wise(f.model, f.hw, f.eval, f.reference);
+  const auto after = plan_cache().stats();
+  EXPECT_EQ(after.decompositions, before.decompositions)
+      << "every (layer weight, config) plan must come from the cache on "
+         "the second TASDER pass";
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_GE(r.achieved_agreement, 0.99);
 }
 
 TEST(TasdwLayerWise, AdaptsAggressivenessPerLayer) {
