@@ -1,0 +1,150 @@
+// Serving-throughput bench: the batched execution path on the Fig. 16
+// real-system workload (unstructured-sparse ResNet-34, 2:4 kernels).
+//
+// Each query is one GEMV-style right-hand side per layer; the batch
+// shares each layer's one DecompositionPlan across every item and runs
+// through the packed batch kernels, which amortize per-k-step overhead
+// over the whole batch — the queries/sec gain over batch-1 is the
+// serving story (DeepSparse-style CPU runtimes, 2:4 tensor-core serving).
+//
+// Emits BENCH_serving.json (schema tasd-bench-serving-v1). Before
+// timing, every layer's batched TASD output is checked bit-exact (`==`)
+// against looping the single-RHS multiply — a wrong-but-fast batch
+// kernel fails loudly here (non-zero exit).
+//
+// Usage: serving_throughput [output.json] [--quick]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/plan_cache.hpp"
+#include "dnn/workloads.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "runtime/engine.hpp"
+#include "tensor/generator.hpp"
+
+namespace {
+
+using namespace tasd;
+
+/// Batched dense and TASD outputs == per-RHS loops, for every layer at
+/// one probe batch size. Also accumulates into `plan_bytes` the
+/// compressed plan footprint a serving process holds resident (one plan
+/// per configured layer, shared across all batches) — the plans are
+/// already in hand here, so no extra materialize/look-up pass is needed.
+bool verify_bit_exact(const dnn::NetworkWorkload& net,
+                      const std::vector<std::optional<TasdConfig>>& configs,
+                      std::size_t batch, Index query_cols,
+                      Index& plan_bytes) {
+  Rng rng(7001);
+  plan_bytes = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const MatrixF w = dnn::materialize_weight(net.layers[i]);
+    std::vector<MatrixF> bs;
+    for (std::size_t q = 0; q < batch; ++q)
+      bs.push_back(random_dense(w.cols(), query_cols, Dist::kNormalStd1, rng));
+
+    const auto dense_batch = rt::dense_gemm_batch(w, bs);
+    for (std::size_t q = 0; q < batch; ++q)
+      ok = ok && (dense_batch[q] == rt::dense_gemm(w, bs[q]));
+
+    if (configs[i]) {
+      const auto plan = plan_cache().get_or_build(w, *configs[i]);
+      plan_bytes += plan->storage_bytes();
+      const rt::TasdSeriesGemm series(plan);
+      const auto tasd_batch = series.multiply_batch(bs);
+      for (std::size_t q = 0; q < batch; ++q)
+        ok = ok && (tasd_batch[q] == series.multiply(bs[q]));
+    }
+    if (!ok) {
+      std::fprintf(stderr, "** NOT BIT-EXACT at layer %s **\n",
+                   net.layers[i].name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_serving.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  const auto net = dnn::resnet34_workload(true, 42);
+  const std::vector<std::optional<TasdConfig>> configs(
+      net.layers.size(), TasdConfig::parse("2:4"));
+
+  rt::ServingOptions opt;
+  opt.batch_sizes = quick ? std::vector<std::size_t>{1, 16}
+                          : std::vector<std::size_t>{1, 4, 16, 64};
+  opt.query_cols = 1;
+  opt.repeats = quick ? 1 : 3;
+
+  std::fprintf(stderr, "verifying batched == per-RHS single multiply...\n");
+  Index plan_bytes = 0;
+  const bool bit_exact =
+      verify_bit_exact(net, configs, 5, opt.query_cols, plan_bytes);
+  if (!bit_exact) {
+    std::fprintf(stderr,
+                 "** batched path is not bit-exact; skipping the timing "
+                 "sweep **\n");
+    return 1;
+  }
+
+  std::fprintf(stderr, "measuring %zu batch sizes on %s (%zu layers)...\n",
+               opt.batch_sizes.size(), net.name.c_str(), net.layers.size());
+  const auto results = rt::measure_serving_throughput(net, configs, opt);
+
+  double qps_b1 = 0.0, qps_b16 = 0.0;
+  for (const auto& r : results) {
+    if (r.batch_size == 1) qps_b1 = r.tasd_qps;
+    if (r.batch_size == 16) qps_b16 = r.tasd_qps;
+    std::fprintf(stderr,
+                 "batch %3zu  dense %8.2f ms (%7.2f qps)  tasd %8.2f ms "
+                 "(%7.2f qps)  speedup %.3fx\n",
+                 r.batch_size, r.dense_ms, r.dense_qps, r.tasd_ms, r.tasd_qps,
+                 r.dense_ms / r.tasd_ms);
+  }
+  const double scaling = qps_b1 > 0.0 ? qps_b16 / qps_b1 : 0.0;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::perror("serving_throughput: cannot open output");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"tasd-bench-serving-v1\",\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", net.name.c_str());
+  std::fprintf(f, "  \"config\": \"2:4\",\n");
+  std::fprintf(f, "  \"query_cols\": %zu,\n",
+               static_cast<std::size_t>(opt.query_cols));
+  std::fprintf(f, "  \"plan_bytes\": %zu,\n",
+               static_cast<std::size_t>(plan_bytes));
+  std::fprintf(f, "  \"bit_exact\": %s,\n", bit_exact ? "true" : "false");
+  std::fprintf(f, "  \"tasd_qps_batch16_over_batch1\": %.6f,\n", scaling);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"dense_ms\": %.6f, \"tasd_ms\": %.6f, "
+                 "\"dense_qps\": %.6f, \"tasd_qps\": %.6f}%s\n",
+                 r.batch_size, r.dense_ms, r.tasd_ms, r.dense_qps, r.tasd_qps,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr, "wrote %s  (batch-16 tasd qps / batch-1: %.2fx)\n",
+               out_path.c_str(), scaling);
+  return 0;
+}

@@ -18,6 +18,12 @@ Index DecompositionPlan::nnz() const {
   return total;
 }
 
+Index DecompositionPlan::storage_bytes() const {
+  Index total = 0;
+  for (const auto& t : terms) total += t.storage_bytes();
+  return total;
+}
+
 MatrixF DecompositionPlan::approximation() const {
   MatrixF acc(rows, cols);
   for (const auto& t : terms) {

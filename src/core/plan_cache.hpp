@@ -40,6 +40,11 @@ struct DecompositionPlan {
   /// Total stored non-zeros across terms.
   [[nodiscard]] Index nnz() const;
 
+  /// Compressed storage footprint in bytes across terms (hardware-style
+  /// encoding, see NMSparseMatrix::storage_bytes) — the per-plan memory
+  /// a serving process pays to share one decomposition across a batch.
+  [[nodiscard]] Index storage_bytes() const;
+
   /// Dense Σ terms (bit-identical to Decomposition::approximation():
   /// every element lives in at most one term, so no summation-order
   /// effects exist).

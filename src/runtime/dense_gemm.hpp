@@ -12,6 +12,9 @@
 // thread count.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "runtime/gemm_dispatch.hpp"
 #include "tensor/matrix.hpp"
 
@@ -24,5 +27,17 @@ MatrixF dense_gemm(const MatrixF& a, const MatrixF& b,
 /// C += A * B into a preallocated accumulator.
 void dense_gemm_accumulate(const MatrixF& a, const MatrixF& b, MatrixF& c,
                            const ExecPolicy& policy = {});
+
+/// cs[i] = A * bs[i] for a batch of right-hand sides (ragged widths
+/// allowed; every bs[i] must have A.cols() rows). Bit-identical to
+/// calling dense_gemm per item, at every thread count and batch size.
+std::vector<MatrixF> dense_gemm_batch(const MatrixF& a,
+                                      std::span<const MatrixF> bs,
+                                      const ExecPolicy& policy = {});
+
+/// cs[i] += A * bs[i] into preallocated accumulators.
+void dense_gemm_batch_accumulate(const MatrixF& a, std::span<const MatrixF> bs,
+                                 std::span<MatrixF> cs,
+                                 const ExecPolicy& policy = {});
 
 }  // namespace tasd::rt

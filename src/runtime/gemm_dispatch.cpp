@@ -15,8 +15,9 @@ ThreadPool& resolve_pool(const ExecPolicy& policy) {
 
 // ------------------------------------------------------ row-range cores
 
-void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
-                     Index row_begin, Index row_end) {
+void dense_gemm_tile(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     Index row_begin, Index row_end, Index col_begin,
+                     Index col_end) {
   const Index k = a.cols(), n = b.cols();
   // j-tile sized to keep the C row segment plus four B row segments in
   // L1 while streaming; per-element accumulation order (k ascending,
@@ -25,8 +26,8 @@ void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
   for (Index i = row_begin; i < row_end; ++i) {
     float* __restrict crow = c.data() + i * n;
     const float* arow = a.data() + i * k;
-    for (Index jt = 0; jt < n; jt += kTileN) {
-      const Index je = std::min(n, jt + kTileN);
+    for (Index jt = col_begin; jt < col_end; jt += kTileN) {
+      const Index je = std::min(col_end, jt + kTileN);
       Index p = 0;
       for (; p + 4 <= k; p += 4) {
         const float a0 = arow[p], a1 = arow[p + 1];
@@ -47,8 +48,9 @@ void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
   }
 }
 
-void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
-                  MatrixF& c, Index row_begin, Index row_end) {
+void nm_gemm_tile(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                  MatrixF& c, Index row_begin, Index row_end,
+                  Index col_begin, Index col_end) {
   const Index n = b.cols();
   const auto m = static_cast<Index>(a.pattern().m);
   const auto& values = a.values();
@@ -64,10 +66,20 @@ void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
       for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
         const float av = values[s];
         const float* __restrict brow = b.data() + (k_base + idx[s]) * n;
-        for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
+        for (Index j = col_begin; j < col_end; ++j) crow[j] += av * brow[j];
       }
     }
   }
+}
+
+void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     Index row_begin, Index row_end) {
+  dense_gemm_tile(a, b, c, row_begin, row_end, 0, b.cols());
+}
+
+void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                  MatrixF& c, Index row_begin, Index row_end) {
+  nm_gemm_tile(a, b, c, row_begin, row_end, 0, b.cols());
 }
 
 // ------------------------------------------------------------- registry
@@ -76,15 +88,82 @@ struct GemmDispatch::Impl {
   mutable std::mutex mutex;
   std::map<std::string, DenseKernel> dense;
   std::map<std::string, NmKernel> nm;
+  std::map<std::string, DenseBatchKernel> dense_batch;
+  std::map<std::string, NmBatchKernel> nm_batch;
   std::string default_dense;
   std::string default_nm;
+  std::string default_dense_batch;
+  std::string default_nm_batch;
 };
+
+// ------------------------------------------------- packed batch layout
+// The packed batch kernels lay the batch items' columns side by side in
+// one wide matrix: packed(r, off[i] + j) == item_i(r, j). Packing and
+// unpacking are exact copies, and both GEMM tile cores accumulate each
+// output element with a fixed k-ascending MAC order regardless of the
+// column range, so running the cores on the packed pair is bit-identical
+// to looping the single-RHS kernel over the items — while the inner j
+// loops span the whole batch, amortizing per-k-step overhead (the whole
+// point of the serving path on small per-query widths).
+
+std::vector<Index> batch_offsets(std::span<const MatrixF> items) {
+  std::vector<Index> off(items.size() + 1, 0);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    off[i + 1] = off[i] + items[i].cols();
+  return off;
+}
+
+MatrixF pack_batch(std::span<const MatrixF> items,
+                   const std::vector<Index>& off) {
+  const Index rows = items.empty() ? 0 : items[0].rows();
+  MatrixF packed(rows, off.back());
+  for (Index r = 0; r < rows; ++r) {
+    float* prow = packed.data() + r * off.back();
+    for (std::size_t i = 0; i < items.size(); ++i)
+      std::copy_n(items[i].data() + r * items[i].cols(), items[i].cols(),
+                  prow + off[i]);
+  }
+  return packed;
+}
+
+void unpack_batch(const MatrixF& packed, const std::vector<Index>& off,
+                  std::span<MatrixF> items) {
+  for (Index r = 0; r < packed.rows(); ++r) {
+    const float* prow = packed.data() + r * off.back();
+    for (std::size_t i = 0; i < items.size(); ++i)
+      std::copy_n(prow + off[i], items[i].cols(),
+                  items[i].data() + r * items[i].cols());
+  }
+}
 
 namespace {
 
 // Row grain: below this many rows per chunk the fork/join overhead beats
 // the win; partitioning stays deterministic either way.
 constexpr std::size_t kRowGrain = 8;
+
+// Batch-column grain for the packed batch kernels: wide enough that the
+// shared A-element loads of one k-step amortize over the tile's columns,
+// small enough that a short-m batch still fans out over the pool.
+constexpr Index kBatchColGrain = 128;
+
+/// Run `tile` over a deterministic (row-chunk, batch-column-chunk) grid
+/// covering rows x [0, total_cols).
+void run_tile_grid(ThreadPool& pool, Index rows, Index total_cols,
+                   const std::function<void(Index, Index, Index, Index)>& tile) {
+  if (rows == 0 || total_cols == 0) return;
+  const Index row_chunks = (rows + kRowGrain - 1) / kRowGrain;
+  const Index col_chunks = (total_cols + kBatchColGrain - 1) / kBatchColGrain;
+  pool.parallel_for(0, row_chunks * col_chunks, 1, [&](std::size_t t0,
+                                                       std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const Index rc = t / col_chunks, cc = t % col_chunks;
+      tile(rc * kRowGrain, std::min<Index>(rows, (rc + 1) * kRowGrain),
+           cc * kBatchColGrain,
+           std::min<Index>(total_cols, (cc + 1) * kBatchColGrain));
+    }
+  });
+}
 
 void dense_tiled_parallel(const MatrixF& a, const MatrixF& b, MatrixF& c,
                           ThreadPool& pool) {
@@ -113,6 +192,64 @@ void nm_serial(const sparse::NMSparseMatrix& a, const MatrixF& b, MatrixF& c,
   nm_gemm_rows(a, b, c, 0, a.rows());
 }
 
+/// Shared body of the packed batch kernels: single-item batches run the
+/// tile grid in place (no pack/unpack); larger batches pack B and C
+/// once, run the grid over the packed pair, and unpack. `tile` is the
+/// per-kernel core, called as tile(b, c, r0, r1, c0, c1).
+template <typename TileFn>
+void packed_batch_run(Index rows, std::span<const MatrixF> bs,
+                      std::span<MatrixF> cs, ThreadPool& pool,
+                      TileFn&& tile) {
+  if (bs.size() == 1) {  // already one contiguous RHS: no pack/unpack
+    run_tile_grid(pool, rows, bs[0].cols(),
+                  [&](Index r0, Index r1, Index c0, Index c1) {
+                    tile(bs[0], cs[0], r0, r1, c0, c1);
+                  });
+    return;
+  }
+  const auto off = batch_offsets(bs);
+  if (off.back() == 0) return;
+  const MatrixF bp = pack_batch(bs, off);
+  MatrixF cp = pack_batch({cs.data(), cs.size()}, off);
+  run_tile_grid(pool, rows, off.back(),
+                [&](Index r0, Index r1, Index c0, Index c1) {
+                  tile(bp, cp, r0, r1, c0, c1);
+                });
+  unpack_batch(cp, off, cs);
+}
+
+void dense_batch_packed(const MatrixF& a, std::span<const MatrixF> bs,
+                        std::span<MatrixF> cs, ThreadPool& pool) {
+  packed_batch_run(a.rows(), bs, cs, pool,
+                   [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
+                        Index c0, Index c1) {
+                     dense_gemm_tile(a, b, c, r0, r1, c0, c1);
+                   });
+}
+
+void dense_batch_loop(const MatrixF& a, std::span<const MatrixF> bs,
+                      std::span<MatrixF> cs, ThreadPool& /*pool*/) {
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    dense_gemm_rows(a, bs[i], cs[i], 0, a.rows());
+}
+
+void nm_batch_packed(const sparse::NMSparseMatrix& a,
+                     std::span<const MatrixF> bs, std::span<MatrixF> cs,
+                     ThreadPool& pool) {
+  packed_batch_run(a.rows(), bs, cs, pool,
+                   [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
+                        Index c0, Index c1) {
+                     nm_gemm_tile(a, b, c, r0, r1, c0, c1);
+                   });
+}
+
+void nm_batch_loop(const sparse::NMSparseMatrix& a,
+                   std::span<const MatrixF> bs, std::span<MatrixF> cs,
+                   ThreadPool& /*pool*/) {
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    nm_gemm_rows(a, bs[i], cs[i], 0, a.rows());
+}
+
 }  // namespace
 
 GemmDispatch::GemmDispatch() : impl_(new Impl) {
@@ -123,6 +260,12 @@ GemmDispatch::GemmDispatch() : impl_(new Impl) {
   impl_->nm["row-parallel"] = nm_row_parallel;
   impl_->nm["serial"] = nm_serial;
   impl_->default_nm = "row-parallel";
+  impl_->dense_batch["batch-packed"] = dense_batch_packed;
+  impl_->dense_batch["batch-loop"] = dense_batch_loop;
+  impl_->default_dense_batch = "batch-packed";
+  impl_->nm_batch["batch-packed"] = nm_batch_packed;
+  impl_->nm_batch["batch-loop"] = nm_batch_loop;
+  impl_->default_nm_batch = "batch-packed";
 }
 
 GemmDispatch& GemmDispatch::instance() {
@@ -143,6 +286,20 @@ void GemmDispatch::register_nm(const std::string& name, NmKernel kernel) {
   impl_->nm[name] = std::move(kernel);
 }
 
+void GemmDispatch::register_dense_batch(const std::string& name,
+                                        DenseBatchKernel kernel) {
+  TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
+  std::lock_guard lock(impl_->mutex);
+  impl_->dense_batch[name] = std::move(kernel);
+}
+
+void GemmDispatch::register_nm_batch(const std::string& name,
+                                     NmBatchKernel kernel) {
+  TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
+  std::lock_guard lock(impl_->mutex);
+  impl_->nm_batch[name] = std::move(kernel);
+}
+
 void GemmDispatch::set_default_dense(const std::string& name) {
   std::lock_guard lock(impl_->mutex);
   TASD_CHECK_MSG(impl_->dense.contains(name),
@@ -155,6 +312,20 @@ void GemmDispatch::set_default_nm(const std::string& name) {
   TASD_CHECK_MSG(impl_->nm.contains(name),
                  "unknown N:M kernel '" << name << "'");
   impl_->default_nm = name;
+}
+
+void GemmDispatch::set_default_dense_batch(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  TASD_CHECK_MSG(impl_->dense_batch.contains(name),
+                 "unknown dense batch kernel '" << name << "'");
+  impl_->default_dense_batch = name;
+}
+
+void GemmDispatch::set_default_nm_batch(const std::string& name) {
+  std::lock_guard lock(impl_->mutex);
+  TASD_CHECK_MSG(impl_->nm_batch.contains(name),
+                 "unknown N:M batch kernel '" << name << "'");
+  impl_->default_nm_batch = name;
 }
 
 std::vector<std::string> GemmDispatch::dense_kernels() const {
@@ -173,6 +344,22 @@ std::vector<std::string> GemmDispatch::nm_kernels() const {
   return names;
 }
 
+std::vector<std::string> GemmDispatch::dense_batch_kernels() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->dense_batch.size());
+  for (const auto& [name, _] : impl_->dense_batch) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> GemmDispatch::nm_batch_kernels() const {
+  std::lock_guard lock(impl_->mutex);
+  std::vector<std::string> names;
+  names.reserve(impl_->nm_batch.size());
+  for (const auto& [name, _] : impl_->nm_batch) names.push_back(name);
+  return names;
+}
+
 std::string GemmDispatch::default_dense() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->default_dense;
@@ -181,6 +368,16 @@ std::string GemmDispatch::default_dense() const {
 std::string GemmDispatch::default_nm() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->default_nm;
+}
+
+std::string GemmDispatch::default_dense_batch() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->default_dense_batch;
+}
+
+std::string GemmDispatch::default_nm_batch() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->default_nm_batch;
 }
 
 DenseKernel GemmDispatch::dense(const std::string& name) const {
@@ -198,6 +395,24 @@ NmKernel GemmDispatch::nm(const std::string& name) const {
   const auto it = impl_->nm.find(key);
   TASD_CHECK_MSG(it != impl_->nm.end(),
                  "unknown N:M kernel '" << key << "'");
+  return it->second;
+}
+
+DenseBatchKernel GemmDispatch::dense_batch(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  const std::string& key = name.empty() ? impl_->default_dense_batch : name;
+  const auto it = impl_->dense_batch.find(key);
+  TASD_CHECK_MSG(it != impl_->dense_batch.end(),
+                 "unknown dense batch kernel '" << key << "'");
+  return it->second;
+}
+
+NmBatchKernel GemmDispatch::nm_batch(const std::string& name) const {
+  std::lock_guard lock(impl_->mutex);
+  const std::string& key = name.empty() ? impl_->default_nm_batch : name;
+  const auto it = impl_->nm_batch.find(key);
+  TASD_CHECK_MSG(it != impl_->nm_batch.end(),
+                 "unknown N:M batch kernel '" << key << "'");
   return it->second;
 }
 

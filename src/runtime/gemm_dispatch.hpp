@@ -13,13 +13,22 @@
 // Built-in N:M kernels:
 //   "row-parallel"    row-parallel compressed traversal (default)
 //   "serial"          the same arithmetic on one thread
+// Built-in batch kernels (dense and N:M, serving path):
+//   "batch-packed"    pack the batch into one wide RHS and partition
+//                     (output-row, batch-column) tiles over the pool
+//                     (default)
+//   "batch-loop"      per-item serial loop of the single-RHS core
 //
-// Every kernel partitions work by output row with no shared float
-// accumulation, so all of them produce bit-identical results at every
-// thread count.
+// Every kernel partitions work by output row (batch kernels also by
+// batch column) with no shared float accumulation, so all of them
+// produce bit-identical results at every thread count. Batch kernels
+// additionally preserve each output element's MAC order exactly as the
+// single-RHS kernels execute it, so a batched call is bit-identical to
+// looping the single-RHS kernel over the batch.
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,8 @@ struct ExecPolicy {
   ThreadPool* pool = nullptr;
   std::string dense_kernel;
   std::string nm_kernel;
+  std::string dense_batch_kernel;
+  std::string nm_batch_kernel;
 };
 
 /// Resolve the pool an ExecPolicy designates.
@@ -50,6 +61,21 @@ using NmKernel =
     std::function<void(const sparse::NMSparseMatrix& a, const MatrixF& b,
                        MatrixF& c, ThreadPool& pool)>;
 
+/// A batched dense kernel accumulates cs[i] += A * bs[i] for every item
+/// of a batch of right-hand sides (items may have ragged widths). The
+/// contract every registered kernel must keep: output bits identical to
+/// looping the single-RHS kernel over the items, at every thread count.
+using DenseBatchKernel =
+    std::function<void(const MatrixF& a, std::span<const MatrixF> bs,
+                       std::span<MatrixF> cs, ThreadPool& pool)>;
+
+/// A batched N:M kernel accumulates cs[i] += A * bs[i] for compressed A,
+/// under the same bit-exactness contract.
+using NmBatchKernel =
+    std::function<void(const sparse::NMSparseMatrix& a,
+                       std::span<const MatrixF> bs, std::span<MatrixF> cs,
+                       ThreadPool& pool)>;
+
 /// Thread-safe named registry of GEMM kernels.
 class GemmDispatch {
  public:
@@ -58,19 +84,29 @@ class GemmDispatch {
 
   void register_dense(const std::string& name, DenseKernel kernel);
   void register_nm(const std::string& name, NmKernel kernel);
+  void register_dense_batch(const std::string& name, DenseBatchKernel kernel);
+  void register_nm_batch(const std::string& name, NmBatchKernel kernel);
   void set_default_dense(const std::string& name);
   void set_default_nm(const std::string& name);
+  void set_default_dense_batch(const std::string& name);
+  void set_default_nm_batch(const std::string& name);
 
   /// Registered kernel names, sorted.
   [[nodiscard]] std::vector<std::string> dense_kernels() const;
   [[nodiscard]] std::vector<std::string> nm_kernels() const;
+  [[nodiscard]] std::vector<std::string> dense_batch_kernels() const;
+  [[nodiscard]] std::vector<std::string> nm_batch_kernels() const;
   [[nodiscard]] std::string default_dense() const;
   [[nodiscard]] std::string default_nm() const;
+  [[nodiscard]] std::string default_dense_batch() const;
+  [[nodiscard]] std::string default_nm_batch() const;
 
   /// Look up a kernel ("" = the default). Throws tasd::Error on unknown
   /// names.
   [[nodiscard]] DenseKernel dense(const std::string& name = {}) const;
   [[nodiscard]] NmKernel nm(const std::string& name = {}) const;
+  [[nodiscard]] DenseBatchKernel dense_batch(const std::string& name = {}) const;
+  [[nodiscard]] NmBatchKernel nm_batch(const std::string& name = {}) const;
 
  private:
   GemmDispatch();
@@ -91,5 +127,36 @@ void dense_gemm_rows(const MatrixF& a, const MatrixF& b, MatrixF& c,
 /// row_end).
 void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
                   MatrixF& c, Index row_begin, Index row_end);
+
+/// Dense C += A*B restricted to output rows [row_begin, row_end) and
+/// output columns [col_begin, col_end). Per-element MAC order (k
+/// ascending, 4-wide) is the same for every tile shape, so any disjoint
+/// tiling of the output reproduces the full-range result bit-for-bit.
+void dense_gemm_tile(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                     Index row_begin, Index row_end, Index col_begin,
+                     Index col_end);
+
+/// Compressed N:M C += A*B restricted to an (output-row, output-column)
+/// tile, same bit-exactness property as dense_gemm_tile.
+void nm_gemm_tile(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                  MatrixF& c, Index row_begin, Index row_end,
+                  Index col_begin, Index col_end);
+
+// Packed batch layout: items' columns laid side by side in one wide
+// matrix, packed(r, off[i] + j) == item_i(r, j). Pack/unpack are exact
+// copies, so callers that run many kernels over the same batch (e.g. a
+// TASD series' term loop) can pack once, pass the packed pair through
+// the batch kernels as a single-item batch, and unpack once.
+
+/// Prefix sums of item widths; off.back() is the packed column count.
+std::vector<Index> batch_offsets(std::span<const MatrixF> items);
+
+/// Copy items (all with equal row counts) into one packed wide matrix.
+MatrixF pack_batch(std::span<const MatrixF> items,
+                   const std::vector<Index>& off);
+
+/// Copy packed columns back out into the per-item matrices.
+void unpack_batch(const MatrixF& packed, const std::vector<Index>& off,
+                  std::span<MatrixF> items);
 
 }  // namespace tasd::rt

@@ -19,6 +19,31 @@ void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
                                                 resolve_pool(policy));
 }
 
+std::vector<MatrixF> nm_gemm_batch(const sparse::NMSparseMatrix& a,
+                                   std::span<const MatrixF> bs,
+                                   const ExecPolicy& policy) {
+  std::vector<MatrixF> cs;
+  cs.reserve(bs.size());
+  for (const MatrixF& b : bs) cs.emplace_back(a.rows(), b.cols());
+  nm_gemm_batch_accumulate(a, bs, cs, policy);
+  return cs;
+}
+
+void nm_gemm_batch_accumulate(const sparse::NMSparseMatrix& a,
+                              std::span<const MatrixF> bs,
+                              std::span<MatrixF> cs,
+                              const ExecPolicy& policy) {
+  TASD_CHECK_MSG(bs.size() == cs.size(), "batch GEMM item count mismatch");
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    TASD_CHECK_MSG(a.cols() == bs[i].rows(),
+                   "N:M batch GEMM inner dim mismatch at item " << i);
+    TASD_CHECK(cs[i].rows() == a.rows() && cs[i].cols() == bs[i].cols());
+  }
+  if (bs.empty()) return;
+  GemmDispatch::instance().nm_batch(policy.nm_batch_kernel)(
+      a, bs, cs, resolve_pool(policy));
+}
+
 TasdSeriesGemm::TasdSeriesGemm(const Decomposition& decomposition)
     : rows_(decomposition.residual.rows()),
       cols_(decomposition.residual.cols()) {
@@ -43,6 +68,35 @@ MatrixF TasdSeriesGemm::multiply(const MatrixF& b,
   ThreadPool& pool = resolve_pool(policy);
   for (const auto& t : terms()) kernel(t, b, c, pool);
   return c;
+}
+
+std::vector<MatrixF> TasdSeriesGemm::multiply_batch(
+    std::span<const MatrixF> bs, const ExecPolicy& policy) const {
+  std::vector<MatrixF> cs;
+  cs.reserve(bs.size());
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    TASD_CHECK_MSG(cols_ == bs[i].rows(),
+                   "TASD series batch GEMM inner dim mismatch at item " << i);
+    cs.emplace_back(rows_, bs[i].cols());
+  }
+  if (bs.empty()) return cs;
+  // Pack the batch once and run every term against the packed pair as a
+  // single-item batch (re-packing per term would waste copies on the
+  // serving hot path). Term-major: per output element the accumulation
+  // order is terms in series order, k ascending within a term — exactly
+  // multiply()'s order — and the tile cores' per-element order does not
+  // depend on column position, so the batch is bit-identical to a
+  // per-item loop.
+  const NmBatchKernel kernel =
+      GemmDispatch::instance().nm_batch(policy.nm_batch_kernel);
+  ThreadPool& pool = resolve_pool(policy);
+  const auto off = batch_offsets(bs);
+  if (off.back() == 0) return cs;
+  const MatrixF bp = pack_batch(bs, off);
+  MatrixF cp(rows_, off.back());
+  for (const auto& t : terms()) kernel(t, {&bp, 1}, {&cp, 1}, pool);
+  unpack_batch(cp, off, cs);
+  return cs;
 }
 
 Index TasdSeriesGemm::nnz() const {

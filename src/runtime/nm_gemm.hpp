@@ -10,6 +10,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "core/decompose.hpp"
 #include "core/plan_cache.hpp"
@@ -27,6 +29,19 @@ MatrixF nm_gemm(const sparse::NMSparseMatrix& a, const MatrixF& b,
 void nm_gemm_accumulate(const sparse::NMSparseMatrix& a, const MatrixF& b,
                         MatrixF& c, const ExecPolicy& policy = {});
 
+/// cs[i] = A_compressed * bs[i] for a batch of right-hand sides (ragged
+/// widths allowed). Bit-identical to calling nm_gemm per item, at every
+/// thread count and batch size.
+std::vector<MatrixF> nm_gemm_batch(const sparse::NMSparseMatrix& a,
+                                   std::span<const MatrixF> bs,
+                                   const ExecPolicy& policy = {});
+
+/// cs[i] += A_compressed * bs[i] into preallocated accumulators.
+void nm_gemm_batch_accumulate(const sparse::NMSparseMatrix& a,
+                              std::span<const MatrixF> bs,
+                              std::span<MatrixF> cs,
+                              const ExecPolicy& policy = {});
+
 /// C = Σ_i term_i * B over a whole TASD series (distributive execution of
 /// the decomposed GEMM, paper §3.2). Terms are pre-compressed once.
 class TasdSeriesGemm {
@@ -43,6 +58,15 @@ class TasdSeriesGemm {
   /// term-major loop bit-for-bit.
   [[nodiscard]] MatrixF multiply(const MatrixF& b,
                                  const ExecPolicy& policy = {}) const;
+
+  /// Execute against a batch of dense right-hand sides (ragged widths
+  /// allowed), sharing this series' one decomposition plan across every
+  /// item. Each term runs through the registry's batch kernel, which
+  /// partitions (output-row, batch-column) tiles over the pool; output
+  /// is bit-identical to calling multiply() per item — the serving-path
+  /// invariant — at every thread count and batch size.
+  [[nodiscard]] std::vector<MatrixF> multiply_batch(
+      std::span<const MatrixF> bs, const ExecPolicy& policy = {}) const;
 
   /// Stored non-zeros across terms.
   [[nodiscard]] Index nnz() const;

@@ -145,6 +145,103 @@ TEST(Engine, ExplicitThreadCountMatchesDefaultResults) {
     EXPECT_DOUBLE_EQ(a[i].kept_nnz_fraction, b[i].kept_nnz_fraction);
 }
 
+// --- Fig. 16 conversion-ranking regressions: a configured layer whose
+// TASD series measured *slower* than dense must never be ranked as a
+// beneficial conversion, and converting it must never worsen latency
+// (the deployment engineer keeps the dense kernel).
+
+/// Three layers: one big winner, one unconfigured, one configured loser.
+std::vector<LayerTiming> timings_with_slower_than_dense_layer() {
+  std::vector<LayerTiming> timings(3);
+  timings[0].dense_ms = 10.0;
+  timings[0].tasd_ms = 10.5;  // TASD measured slower than dense
+  timings[0].config = TasdConfig::parse("2:4");
+  timings[1].dense_ms = 5.0;  // no config: not convertible
+  timings[2].dense_ms = 20.0;
+  timings[2].tasd_ms = 12.0;
+  timings[2].config = TasdConfig::parse("2:4");
+  return timings;
+}
+
+TEST(Engine, BestMsKeepsDenseWhenTasdSlower) {
+  const auto timings = timings_with_slower_than_dense_layer();
+  EXPECT_DOUBLE_EQ(timings[0].best_ms(), 10.0);  // min, not tasd_ms
+  EXPECT_DOUBLE_EQ(timings[1].best_ms(), 5.0);
+  EXPECT_DOUBLE_EQ(timings[2].best_ms(), 12.0);
+  EXPECT_DOUBLE_EQ(timings[0].conversion_savings_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(timings[2].conversion_savings_ms(), 8.0);
+}
+
+TEST(Engine, ConversionOrderNeverRanksLosingLayersAsBeneficial) {
+  const auto timings = timings_with_slower_than_dense_layer();
+  const auto order = conversion_order(timings);
+  // The winner first; the -1.0 sentinel bug ranked the losing layer 0
+  // (savings -0.5) ahead of the unconfigured layer 1.
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 0u);  // zero savings, index tie-break
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(Engine, NetworkLatencyMonotoneWithSlowerThanDenseLayer) {
+  const auto timings = timings_with_slower_than_dense_layer();
+  const auto order = conversion_order(timings);
+  double prev = network_latency_ms(timings, order, 0);
+  EXPECT_DOUBLE_EQ(prev, 35.0);
+  for (std::size_t k = 1; k <= timings.size(); ++k) {
+    const double cur = network_latency_ms(timings, order, k);
+    EXPECT_LE(cur, prev) << "converting layer " << order[k - 1]
+                         << " must never worsen latency";
+    prev = cur;
+  }
+  // Converting everything equals converting only the beneficial prefix.
+  EXPECT_DOUBLE_EQ(network_latency_ms(timings, order, 3), 27.0);
+}
+
+TEST(Engine, NDivisorRoundsAndSkipsTinyLayers) {
+  auto net = tiny_net();
+  net.layers[0].n = 6;    // < n_divisor: must keep full N
+  net.layers[1].n = 100;  // 100/8 = 12.5: must round to 13, not 12
+  EngineOptions opt;
+  opt.n_divisor = 8;
+  opt.repeats = 1;
+  const auto timings =
+      measure_workload(net, {std::nullopt, std::nullopt}, opt);
+  EXPECT_EQ(timings[0].n, 6u);
+  EXPECT_EQ(timings[1].n, 13u);
+
+  // No cliff at n == n_divisor: a layer one position wider than a
+  // kept-at-full-N tiny layer must not measure narrower than it.
+  net.layers[0].n = 8;   // == n_divisor: floor keeps it at 7, not 1
+  net.layers[1].n = 7;   // < n_divisor: kept at full N
+  const auto edge = measure_workload(net, {std::nullopt, std::nullopt}, opt);
+  EXPECT_EQ(edge[0].n, 7u);
+  EXPECT_EQ(edge[1].n, 7u);
+}
+
+TEST(Engine, ServingThroughputMeasuresEveryBatchSize) {
+  const auto net = tiny_net();
+  ServingOptions opt;
+  opt.batch_sizes = {1, 3};
+  opt.repeats = 1;
+  const std::vector<std::optional<TasdConfig>> cfgs{
+      TasdConfig::parse("2:4"), std::nullopt};
+
+  const auto before = plan_cache().stats();
+  const auto results = measure_serving_throughput(net, cfgs, opt);
+  const auto after = plan_cache().stats();
+
+  ASSERT_EQ(results.size(), 2u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].batch_size, opt.batch_sizes[i]);
+    EXPECT_GT(results[i].dense_ms, 0.0);
+    EXPECT_GT(results[i].tasd_ms, 0.0);
+    EXPECT_GT(results[i].dense_qps, 0.0);
+    EXPECT_GT(results[i].tasd_qps, 0.0);
+  }
+  // One plan for the single configured layer serves both batch sizes.
+  EXPECT_LE(after.decompositions, before.decompositions + 1);
+}
+
 TEST(Engine, MonotoneSpeedupInConvertedLayers) {
   const auto net = tiny_net();
   EngineOptions opt;

@@ -1,0 +1,179 @@
+// Bit-exactness of the batched serving path: dense_gemm_batch,
+// nm_gemm_batch and TasdSeriesGemm::multiply_batch must produce outputs
+// `==` to looping the single-RHS kernel over the batch, at every thread
+// count, for every registered batch kernel, across ragged batch sizes
+// and ragged per-item widths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/decompose.hpp"
+#include "core/plan_cache.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "runtime/gemm_dispatch.hpp"
+#include "runtime/nm_gemm.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+namespace {
+
+const std::size_t kThreadCounts[] = {0, 1, 2, 5, 8};
+
+// Ragged batches: singleton, GEMV-style uniform width 1, ragged widths
+// (including a zero-column item), and a batch larger than the tile grid's
+// column grain would fill at width 1.
+std::vector<std::vector<Index>> batch_shapes() {
+  return {
+      {5},
+      {1, 1, 1},
+      {3, 1, 16, 0, 7},
+      std::vector<Index>(17, 1),
+      {129, 2, 33},
+  };
+}
+
+std::vector<MatrixF> make_batch(Index k, const std::vector<Index>& widths,
+                                Rng& rng) {
+  std::vector<MatrixF> bs;
+  bs.reserve(widths.size());
+  for (Index w : widths)
+    bs.push_back(random_dense(k, w, Dist::kNormalStd1, rng));
+  return bs;
+}
+
+TEST(MultiplyBatch, DenseBatchBitIdenticalToSingleLoop) {
+  Rng rng(41);
+  const MatrixF a = random_dense(33, 50, Dist::kNormalStd1, rng);
+  for (const auto& widths : batch_shapes()) {
+    const auto bs = make_batch(a.cols(), widths, rng);
+    std::vector<MatrixF> expected;
+    for (const auto& b : bs) expected.push_back(dense_gemm(a, b));
+    for (const std::string& kernel :
+         GemmDispatch::instance().dense_batch_kernels()) {
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.dense_batch_kernel = kernel;
+        const auto cs = dense_gemm_batch(a, bs, policy);
+        ASSERT_EQ(cs.size(), bs.size());
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          EXPECT_TRUE(cs[i] == expected[i])
+              << kernel << " threads=" << threads << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(MultiplyBatch, NmBatchBitIdenticalToSingleLoop) {
+  Rng rng(42);
+  const MatrixF dense =
+      random_unstructured(29, 48, 0.4, Dist::kNormalStd1, rng);
+  const auto d = decompose(dense, TasdConfig::parse("2:4"));
+  const sparse::NMSparseMatrix a = d.terms[0].compressed();
+  for (const auto& widths : batch_shapes()) {
+    const auto bs = make_batch(a.cols(), widths, rng);
+    std::vector<MatrixF> expected;
+    for (const auto& b : bs) expected.push_back(nm_gemm(a, b));
+    for (const std::string& kernel :
+         GemmDispatch::instance().nm_batch_kernels()) {
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.nm_batch_kernel = kernel;
+        const auto cs = nm_gemm_batch(a, bs, policy);
+        ASSERT_EQ(cs.size(), bs.size());
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          EXPECT_TRUE(cs[i] == expected[i])
+              << kernel << " threads=" << threads << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(MultiplyBatch, SeriesBatchBitIdenticalToSingleLoop) {
+  Rng rng(43);
+  const MatrixF dense =
+      random_unstructured(37, 56, 0.3, Dist::kNormalStd1, rng);
+  const TasdSeriesGemm series(
+      plan_cache().get_or_build(dense, TasdConfig::parse("4:8+1:8")));
+  for (const auto& widths : batch_shapes()) {
+    const auto bs = make_batch(series.cols(), widths, rng);
+    std::vector<MatrixF> expected;
+    for (const auto& b : bs) expected.push_back(series.multiply(b));
+    for (const std::string& kernel :
+         GemmDispatch::instance().nm_batch_kernels()) {
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.nm_batch_kernel = kernel;
+        const auto cs = series.multiply_batch(bs, policy);
+        ASSERT_EQ(cs.size(), bs.size());
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          EXPECT_TRUE(cs[i] == expected[i])
+              << kernel << " threads=" << threads << " item=" << i;
+      }
+    }
+  }
+}
+
+TEST(MultiplyBatch, SharesOnePlanAcrossTheBatch) {
+  Rng rng(44);
+  const MatrixF dense =
+      random_unstructured(16, 32, 0.5, Dist::kNormalStd1, rng);
+  const auto cfg = TasdConfig::parse("2:8+1:8");
+  const TasdSeriesGemm series(plan_cache().get_or_build(dense, cfg));
+  const auto before = plan_cache().stats();
+  const auto bs = make_batch(series.cols(), {1, 1, 1, 1, 1, 1, 1, 1}, rng);
+  (void)series.multiply_batch(bs);
+  const auto after = plan_cache().stats();
+  EXPECT_EQ(after.decompositions, before.decompositions)
+      << "a batched multiply must reuse the series' one plan, not "
+         "decompose per item";
+}
+
+TEST(MultiplyBatch, EmptyBatchReturnsEmpty) {
+  Rng rng(45);
+  const MatrixF a = random_dense(8, 8, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(dense_gemm_batch(a, {}).empty());
+  const auto d = decompose(a, TasdConfig::parse("2:4"));
+  EXPECT_TRUE(nm_gemm_batch(d.terms[0].compressed(), {}).empty());
+  const TasdSeriesGemm series(d);
+  EXPECT_TRUE(series.multiply_batch({}).empty());
+}
+
+TEST(MultiplyBatch, MismatchedItemThrows) {
+  Rng rng(46);
+  const MatrixF a = random_dense(8, 12, Dist::kNormalStd1, rng);
+  std::vector<MatrixF> bs;
+  bs.push_back(random_dense(12, 3, Dist::kNormalStd1, rng));
+  bs.push_back(random_dense(11, 3, Dist::kNormalStd1, rng));  // bad rows
+  EXPECT_THROW(dense_gemm_batch(a, bs), Error);
+  const TasdSeriesGemm series(decompose(a, TasdConfig::parse("2:4")));
+  EXPECT_THROW(series.multiply_batch(bs), Error);
+}
+
+TEST(MultiplyBatch, RegistryListsBatchBuiltinsAndDefaults) {
+  auto& dispatch = GemmDispatch::instance();
+  const auto dense_names = dispatch.dense_batch_kernels();
+  const auto nm_names = dispatch.nm_batch_kernels();
+  for (const auto& names : {dense_names, nm_names}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), "batch-packed"),
+              names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "batch-loop"),
+              names.end());
+  }
+  EXPECT_EQ(dispatch.default_dense_batch(), "batch-packed");
+  EXPECT_EQ(dispatch.default_nm_batch(), "batch-packed");
+  EXPECT_THROW(dispatch.dense_batch("no-such-kernel"), Error);
+  EXPECT_THROW(dispatch.nm_batch("no-such-kernel"), Error);
+}
+
+}  // namespace
+}  // namespace tasd::rt
