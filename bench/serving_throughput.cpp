@@ -18,49 +18,40 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "core/plan_cache.hpp"
 #include "dnn/workloads.hpp"
+#include "runtime/compiled_network.hpp"
 #include "runtime/dense_gemm.hpp"
-#include "runtime/engine.hpp"
 #include "tensor/generator.hpp"
 
 namespace {
 
 using namespace tasd;
 
-/// Batched dense and TASD outputs == per-RHS loops, for every layer at
-/// one probe batch size. Also accumulates into `plan_bytes` the
-/// compressed plan footprint a serving process holds resident (one plan
-/// per configured layer, shared across all batches) — the plans are
-/// already in hand here, so no extra materialize/look-up pass is needed.
-bool verify_bit_exact(const dnn::NetworkWorkload& net,
-                      const std::vector<std::optional<TasdConfig>>& configs,
-                      std::size_t batch, Index query_cols,
-                      Index& plan_bytes) {
+/// Batched outputs == per-RHS loops, for every layer of the compiled
+/// artifact at one probe batch size: run_batch vs run for the bound
+/// (TASD) kernels, plus the dense batch kernel vs the dense single-RHS
+/// kernel on the same weights.
+bool verify_bit_exact(const rt::CompiledNetwork& engine, std::size_t batch,
+                      Index query_cols) {
   Rng rng(7001);
-  plan_bytes = 0;
   bool ok = true;
-  for (std::size_t i = 0; i < net.layers.size(); ++i) {
-    const MatrixF w = dnn::materialize_weight(net.layers[i]);
+  for (std::size_t i = 0; i < engine.layer_count(); ++i) {
+    const auto& layer = engine.layer(i);
     std::vector<MatrixF> bs;
     for (std::size_t q = 0; q < batch; ++q)
-      bs.push_back(random_dense(w.cols(), query_cols, Dist::kNormalStd1, rng));
+      bs.push_back(random_dense(layer.k, query_cols, Dist::kNormalStd1, rng));
 
-    const auto dense_batch = rt::dense_gemm_batch(w, bs);
+    const auto dense_batch = rt::dense_gemm_batch(layer.weight, bs);
     for (std::size_t q = 0; q < batch; ++q)
-      ok = ok && (dense_batch[q] == rt::dense_gemm(w, bs[q]));
+      ok = ok && (dense_batch[q] == rt::dense_gemm(layer.weight, bs[q]));
 
-    if (configs[i]) {
-      const auto plan = plan_cache().get_or_build(w, *configs[i]);
-      plan_bytes += plan->storage_bytes();
-      const rt::TasdSeriesGemm series(plan);
-      const auto tasd_batch = series.multiply_batch(bs);
-      for (std::size_t q = 0; q < batch; ++q)
-        ok = ok && (tasd_batch[q] == series.multiply(bs[q]));
-    }
+    const auto bound_batch = engine.run_batch(i, bs);
+    for (std::size_t q = 0; q < batch; ++q)
+      ok = ok && (bound_batch[q] == engine.run(i, bs[q]));
+
     if (!ok) {
       std::fprintf(stderr, "** NOT BIT-EXACT at layer %s **\n",
-                   net.layers[i].name.c_str());
+                   layer.name.c_str());
       return false;
     }
   }
@@ -85,16 +76,30 @@ int main(int argc, char** argv) {
   const std::vector<std::optional<TasdConfig>> configs(
       net.layers.size(), TasdConfig::parse("2:4"));
 
-  rt::ServingOptions opt;
-  opt.batch_sizes = quick ? std::vector<std::size_t>{1, 16}
-                          : std::vector<std::size_t>{1, 4, 16, 64};
+  const std::vector<std::size_t> batch_sizes =
+      quick ? std::vector<std::size_t>{1, 16}
+            : std::vector<std::size_t>{1, 4, 16, 64};
+  rt::CompileOptions opt;
   opt.query_cols = 1;
-  opt.repeats = quick ? 1 : 3;
+  opt.measure.repeats = quick ? 1 : 3;
+
+  // Compile once: every layer's plan is prewarmed here, and the same
+  // artifact serves the verification pass and every batch size.
+  std::fprintf(stderr, "compiling %s (%zu layers)...\n", net.name.c_str(),
+               net.layers.size());
+  const auto engine = rt::compile(net, configs, opt);
+  // Every layer is configured here; if the artifact silently bound the
+  // dense kernel somewhere, run_batch == run below would hold trivially
+  // and the sweep would report dense timings as TASD.
+  if (engine.configured_count() != net.layers.size()) {
+    std::fprintf(stderr, "** only %zu of %zu layers bound a TASD series **\n",
+                 engine.configured_count(), net.layers.size());
+    return 1;
+  }
+  const Index plan_bytes = engine.plan_bytes();
 
   std::fprintf(stderr, "verifying batched == per-RHS single multiply...\n");
-  Index plan_bytes = 0;
-  const bool bit_exact =
-      verify_bit_exact(net, configs, 5, opt.query_cols, plan_bytes);
+  const bool bit_exact = verify_bit_exact(engine, 5, opt.query_cols);
   if (!bit_exact) {
     std::fprintf(stderr,
                  "** batched path is not bit-exact; skipping the timing "
@@ -102,9 +107,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::fprintf(stderr, "measuring %zu batch sizes on %s (%zu layers)...\n",
-               opt.batch_sizes.size(), net.name.c_str(), net.layers.size());
-  const auto results = rt::measure_serving_throughput(net, configs, opt);
+  std::fprintf(stderr, "measuring %zu batch sizes...\n", batch_sizes.size());
+  const auto results = engine.serving_throughput(batch_sizes);
 
   double qps_b1 = 0.0, qps_b16 = 0.0;
   for (const auto& r : results) {

@@ -16,8 +16,17 @@ TasdConfig TasdConfig::parse(const std::string& text) {
     const std::size_t plus = text.find('+', start);
     const std::size_t end = plus == std::string::npos ? text.size() : plus;
     const std::string part = text.substr(start, end - start);
-    TASD_CHECK_MSG(!part.empty(), "empty term in TASD config '" << text << "'");
-    cfg.terms.push_back(sparse::NMPattern::parse(part));
+    TASD_CHECK_MSG(!part.empty(), "empty term " << cfg.terms.size() + 1
+                                                << " in TASD config '" << text
+                                                << "'");
+    try {
+      cfg.terms.push_back(sparse::NMPattern::parse(part));
+    } catch (const Error& e) {
+      // Note: str() renders an order-0 config as "<empty>", which is a
+      // display form, not parseable input.
+      throw Error("TASD config '" + text + "', term " +
+                  std::to_string(cfg.terms.size() + 1) + ": " + e.what());
+    }
     if (plus == std::string::npos) break;
     start = plus + 1;
   }

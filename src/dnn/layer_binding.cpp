@@ -1,0 +1,38 @@
+#include "dnn/layer_binding.hpp"
+
+#include "common/error.hpp"
+
+namespace tasd::dnn {
+
+std::vector<LayerBinding> bind_layers(
+    const NetworkWorkload& net,
+    const std::vector<std::optional<TasdConfig>>& configs) {
+  TASD_CHECK_MSG(configs.size() == net.layers.size(),
+                 "config list must align with workload layers");
+  std::vector<LayerBinding> out;
+  out.reserve(net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    LayerBinding b;
+    b.name = net.layers[i].name;
+    b.weight = materialize_weight(net.layers[i]);
+    b.positions = net.layers[i].n;
+    b.config = configs[i];
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<LayerBinding> bind_layers(Model& model, Index positions) {
+  std::vector<LayerBinding> out;
+  for (GemmLayer* layer : model.gemm_layers()) {
+    LayerBinding b;
+    b.name = layer->name();
+    b.weight = layer->weight();
+    b.positions = positions;
+    b.config = layer->tasd_w();
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace tasd::dnn

@@ -1,0 +1,233 @@
+#include "runtime/compiled_network.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+
+double network_latency_ms(const std::vector<LayerTiming>& timings,
+                          const std::vector<std::size_t>& order,
+                          std::size_t num_converted) {
+  TASD_CHECK_MSG(num_converted <= order.size(),
+                 "num_converted exceeds layer count");
+  std::vector<bool> converted(timings.size(), false);
+  for (std::size_t i = 0; i < num_converted; ++i) converted[order[i]] = true;
+  double total = 0.0;
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const auto& t = timings[i];
+    // A converted layer keeps the faster of its two measured engines.
+    total += converted[i] ? t.best_ms() : t.dense_ms;
+  }
+  return total;
+}
+
+std::vector<std::size_t> conversion_order(
+    const std::vector<LayerTiming>& timings) {
+  std::vector<std::size_t> order(timings.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // conversion_savings_ms() is zero for unconfigured layers and for
+  // configured layers whose TASD series measured slower than dense, so
+  // neither can rank ahead of a layer with a real saving.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double save_a = timings[a].conversion_savings_ms();
+    const double save_b = timings[b].conversion_savings_ms();
+    if (save_a != save_b) return save_a > save_b;
+    return a < b;
+  });
+  return order;
+}
+
+const CompiledNetwork::BoundLayer& CompiledNetwork::layer(
+    std::size_t i) const {
+  TASD_CHECK_MSG(i < layers_.size(), "layer index " << i << " out of range ("
+                                                    << layers_.size()
+                                                    << " layers)");
+  return layers_[i];
+}
+
+std::size_t CompiledNetwork::configured_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_)
+    if (l.series) ++n;
+  return n;
+}
+
+Index CompiledNetwork::plan_bytes() const {
+  Index total = 0;
+  for (const auto& l : layers_)
+    if (l.plan) total += l.plan->storage_bytes();
+  return total;
+}
+
+ExecPolicy CompiledNetwork::policy() const {
+  ExecPolicy p;
+  p.pool = pool_.get();
+  p.dense_kernel = opt_.dense_kernel;
+  p.nm_kernel = opt_.nm_kernel;
+  p.dense_batch_kernel = opt_.dense_batch_kernel;
+  p.nm_batch_kernel = opt_.nm_batch_kernel;
+  return p;
+}
+
+MatrixF CompiledNetwork::run(std::size_t layer_index,
+                             const MatrixF& input) const {
+  const BoundLayer& l = layer(layer_index);
+  TASD_CHECK_MSG(input.rows() == l.k,
+                 "layer '" << l.name << "' expects a " << l.k
+                           << "-row right-hand side, got " << input.rows()
+                           << "x" << input.cols());
+  const ExecPolicy p = policy();
+  return l.series ? l.series->multiply(input, p)
+                  : dense_gemm(l.weight, input, p);
+}
+
+std::vector<MatrixF> CompiledNetwork::run_batch(
+    std::size_t layer_index, std::span<const MatrixF> inputs) const {
+  const BoundLayer& l = layer(layer_index);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    TASD_CHECK_MSG(inputs[i].rows() == l.k,
+                   "layer '" << l.name << "' expects " << l.k
+                             << "-row right-hand sides, got "
+                             << inputs[i].rows() << "x" << inputs[i].cols()
+                             << " at item " << i);
+  const ExecPolicy p = policy();
+  return l.series ? l.series->multiply_batch(inputs, p)
+                  : dense_gemm_batch(l.weight, inputs, p);
+}
+
+std::vector<LayerTiming> CompiledNetwork::measure() const {
+  Rng rng(opt_.measure.data_seed);
+  const ExecPolicy p = policy();
+  std::vector<LayerTiming> out;
+  out.reserve(layers_.size());
+  volatile float sink = 0.0F;  // defeat dead-code elimination
+  for (const auto& l : layers_) {
+    LayerTiming t;
+    t.name = l.name;
+    t.m = l.m;
+    t.k = l.k;
+    // Rounded division with a uniform floor of min(layer.n, n_divisor-1):
+    // layers with fewer than n_divisor positions keep their full N, the
+    // measured N is monotone in layer.n (no cliff at layer.n ==
+    // n_divisor), and above the floor region it is exactly proportional
+    // to the true N, so cross-layer savings rankings are preserved.
+    t.n = std::max<Index>(
+        {Index{1}, (l.n + opt_.n_divisor / 2) / opt_.n_divisor,
+         std::min<Index>(l.n, opt_.n_divisor - 1)});
+    t.config = l.config;
+    t.kept_nnz_fraction = l.kept_nnz_fraction;
+
+    const MatrixF b = random_dense(t.k, t.n, Dist::kNormalStd1, rng);
+    t.dense_ms = time_ms_min(opt_.measure.repeats, [&] {
+      const MatrixF c = dense_gemm(l.weight, b, p);
+      sink = sink + c(0, 0);
+    });
+    if (l.series) {
+      t.tasd_ms = time_ms_min(opt_.measure.repeats, [&] {
+        const MatrixF c = l.series->multiply(b, p);
+        sink = sink + c(0, 0);
+      });
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<ServingThroughput> CompiledNetwork::serving_throughput(
+    const std::vector<std::size_t>& batch_sizes) const {
+  const ExecPolicy p = policy();
+  std::vector<ServingThroughput> out;
+  out.reserve(batch_sizes.size());
+  volatile float sink = 0.0F;  // defeat dead-code elimination
+  for (const std::size_t batch : batch_sizes) {
+    TASD_CHECK_MSG(batch >= 1, "batch sizes must be >= 1");
+    ServingThroughput r;
+    r.batch_size = batch;
+    Rng rng(opt_.measure.data_seed + batch);
+    for (const auto& l : layers_) {
+      std::vector<MatrixF> bs;
+      bs.reserve(batch);
+      for (std::size_t q = 0; q < batch; ++q)
+        bs.push_back(
+            random_dense(l.k, opt_.query_cols, Dist::kNormalStd1, rng));
+      const double dense_ms = time_ms_min(opt_.measure.repeats, [&] {
+        const auto cs = dense_gemm_batch(l.weight, bs, p);
+        sink = sink + cs[0](0, 0);
+      });
+      r.dense_ms += dense_ms;
+      if (l.series) {
+        r.tasd_ms += time_ms_min(opt_.measure.repeats, [&] {
+          const auto cs = l.series->multiply_batch(bs, p);
+          sink = sink + cs[0](0, 0);
+        });
+      } else {
+        r.tasd_ms += dense_ms;
+      }
+    }
+    const double queries = static_cast<double>(batch);
+    r.dense_qps = r.dense_ms > 0.0 ? queries * 1e3 / r.dense_ms : 0.0;
+    r.tasd_qps = r.tasd_ms > 0.0 ? queries * 1e3 / r.tasd_ms : 0.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+CompiledNetwork compile(std::string name,
+                        std::vector<dnn::LayerBinding> layers,
+                        const CompileOptions& opt) {
+  TASD_CHECK_MSG(opt.n_divisor >= 1, "n_divisor must be >= 1");
+  TASD_CHECK_MSG(opt.query_cols >= 1, "query_cols must be >= 1");
+  // Kernel binding happens now, not at first execution: resolve every
+  // selected kernel name so a misspelled or unregistered name fails at
+  // compile time with the registry's descriptive error.
+  const auto& dispatch = GemmDispatch::instance();
+  (void)dispatch.dense(opt.dense_kernel);
+  (void)dispatch.nm(opt.nm_kernel);
+  (void)dispatch.dense_batch(opt.dense_batch_kernel);
+  (void)dispatch.nm_batch(opt.nm_batch_kernel);
+  CompiledNetwork cn;
+  cn.name_ = std::move(name);
+  cn.opt_ = opt;
+  if (opt.measure.num_threads != 0)
+    cn.pool_ = std::make_unique<ThreadPool>(opt.measure.num_threads);
+  cn.layers_.reserve(layers.size());
+  for (auto& binding : layers) {
+    CompiledNetwork::BoundLayer l;
+    l.name = std::move(binding.name);
+    l.m = binding.weight.rows();
+    l.k = binding.weight.cols();
+    l.n = binding.positions;
+    l.weight = std::move(binding.weight);
+    l.config = std::move(binding.config);
+    if (l.config) {
+      // The one decomposition of this layer's lifetime: through the
+      // shared cache (so sibling artifacts and future compiles reuse
+      // it), or a private plan when the cache is opted out.
+      l.plan = opt.measure.use_plan_cache
+                   ? plan_cache().get_or_build(l.weight, *l.config)
+                   : std::make_shared<const DecompositionPlan>(
+                         build_plan(l.weight, *l.config));
+      l.series.emplace(l.plan);
+      l.kept_nnz_fraction = static_cast<double>(l.series->nnz()) /
+                            static_cast<double>(l.weight.size());
+    }
+    cn.layers_.push_back(std::move(l));
+  }
+  return cn;
+}
+
+CompiledNetwork compile(const dnn::NetworkWorkload& net,
+                        const std::vector<std::optional<TasdConfig>>& configs,
+                        const CompileOptions& opt) {
+  TASD_CHECK_MSG(configs.size() == net.layers.size(),
+                 "config list must align with workload layers");
+  return compile(net.name, dnn::bind_layers(net, configs), opt);
+}
+
+}  // namespace tasd::rt

@@ -1,0 +1,228 @@
+// Compile-once / execute-many runtime sessions — the deployment story of
+// the paper's real-system experiment (§5.5, Fig. 16) as an explicit
+// artifact, in the spirit of TensorRT engines and DeepSparse compiled
+// pipelines: TASDER picks per-layer series offline, rt::compile() binds
+// them into an immutable CompiledNetwork, and an inference runtime
+// executes that artifact repeatedly.
+//
+// The artifact owns, per layer, the materialized weight, the bound kernel
+// (dense, or a TasdSeriesGemm over the layer's DecompositionPlan) and the
+// execution policy / thread-pool binding. Plans are prewarmed through the
+// process-wide PlanCache exactly once, at compile time: run(), run_batch(),
+// measure() and serving_throughput() never decompose anything.
+//
+// Contract (see DESIGN.md § Compile-once / execute-many):
+//  * Immutability — a CompiledNetwork has no mutating methods; every
+//    execution of the same artifact sees the same plans and weights.
+//  * Bit-exactness — run()/run_batch() are the same kernels the free
+//    execution paths use (TasdSeriesGemm::multiply / multiply_batch,
+//    dense_gemm / dense_gemm_batch), so outputs are bit-identical to them
+//    and to the serial reference at every thread count.
+//  * Plan prewarm — compile() performs at most one decomposition per
+//    configured layer (zero when the PlanCache already holds the plan);
+//    executing the artifact performs zero additional decompositions.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/plan_cache.hpp"
+#include "dnn/layer_binding.hpp"
+#include "dnn/workloads.hpp"
+#include "runtime/nm_gemm.hpp"
+
+namespace tasd::rt {
+
+/// Measurement knobs shared by every timed execution surface (the
+/// engine-style per-layer measurement, the serving sweep, and compile
+/// itself). Previously duplicated across EngineOptions / ServingOptions.
+struct MeasureOptions {
+  /// Timing repetitions; the minimum is reported.
+  int repeats = 3;
+  std::uint64_t data_seed = 99;
+  /// Kernel parallelism. 0 = the process default (TASD_NUM_THREADS, or
+  /// hardware concurrency when unset); any other value builds a dedicated
+  /// pool of that size, owned by the artifact. Timings change with the
+  /// thread count, kernel *results* never do.
+  std::size_t num_threads = 0;
+  /// Reuse decompositions from the process-wide PlanCache: repeated
+  /// compiles of the same weights (TASDER sweeps, bench reruns) perform
+  /// zero additional decompositions.
+  bool use_plan_cache = true;
+};
+
+/// Measured timings of one layer.
+struct LayerTiming {
+  std::string name;
+  Index m = 0, k = 0, n = 0;
+  double dense_ms = 0.0;
+  double tasd_ms = 0.0;              ///< 0 when no series configured
+  std::optional<TasdConfig> config;
+  double kept_nnz_fraction = 0.0;    ///< stored values / total positions
+
+  /// Best available time for this layer. A deployment engineer who
+  /// measures both engines keeps the dense kernel when the TASD series
+  /// turns out slower, so a configured layer contributes the minimum of
+  /// the two timings, never a slower-than-dense TASD time.
+  [[nodiscard]] double best_ms() const {
+    return config ? std::min(tasd_ms, dense_ms) : dense_ms;
+  }
+
+  /// Wall-clock saved by converting this layer (dense_ms - best_ms():
+  /// zero for unconfigured or slower-than-dense layers, never negative).
+  [[nodiscard]] double conversion_savings_ms() const {
+    return dense_ms - best_ms();
+  }
+};
+
+/// Compose total network latency with the first `num_converted` layers
+/// (by the given order) using their best_ms() — a converted layer keeps
+/// the dense kernel when TASD measured slower — and the rest dense.
+/// `order` holds indices into `timings`. With the conversion_order()
+/// ranking, latency is non-increasing in num_converted.
+double network_latency_ms(const std::vector<LayerTiming>& timings,
+                          const std::vector<std::size_t>& order,
+                          std::size_t num_converted);
+
+/// Order layers by descending wall-clock saved (conversion_savings_ms):
+/// the order in which a deployment engineer would convert layers.
+/// Layers that are not convertible (no config) or would lose time
+/// (tasd_ms >= dense_ms) save exactly zero and therefore rank after
+/// every layer with a real saving — never ahead of them.
+std::vector<std::size_t> conversion_order(
+    const std::vector<LayerTiming>& timings);
+
+/// Serving throughput of a whole network at one batch size: the batch
+/// latency is the sum of per-layer batched kernel times (layer-serial,
+/// like network_latency_ms), and queries/sec follows directly.
+struct ServingThroughput {
+  std::size_t batch_size = 0;
+  double dense_ms = 0.0;   ///< whole-net batch latency, dense kernels
+  double tasd_ms = 0.0;    ///< same with configured layers on TASD batch
+  double dense_qps = 0.0;  ///< batch_size / dense seconds
+  double tasd_qps = 0.0;   ///< batch_size / TASD seconds
+};
+
+/// Everything fixed at compile time: measurement knobs, the measurement
+/// shape shrink, the serving query width, and kernel selection.
+struct CompileOptions {
+  MeasureOptions measure;
+  /// measure() shrinks every layer's N (positions) by this factor so
+  /// per-layer measurements finish quickly; speed-up ratios are
+  /// unaffected because both kernels scale linearly in N. The division
+  /// rounds to nearest with a floor of min(n, n_divisor - 1), so layers
+  /// with fewer than n_divisor positions are not shrunk at all and the
+  /// measured N is monotone in the layer's N — truncating tiny layers to
+  /// n=1 would distort the dense/TASD ratio Fig. 16 depends on.
+  Index n_divisor = 4;
+  /// Right-hand-side columns of one serving query (1 = GEMV-style
+  /// serving, the latency-bound case batching amortizes).
+  Index query_cols = 1;
+  /// Kernel selection by registry name; empty = the GemmDispatch
+  /// defaults.
+  std::string dense_kernel;
+  std::string nm_kernel;
+  std::string dense_batch_kernel;
+  std::string nm_batch_kernel;
+};
+
+/// An immutable executable artifact: per-layer bound kernels (dense or
+/// TASD series), shared decomposition plans, and the execution policy.
+/// Move-only; all methods are const.
+class CompiledNetwork {
+ public:
+  /// One bound layer: the owned weight, the chosen series (if any), its
+  /// shared plan, and the full-scale GEMM shape for measurement.
+  struct BoundLayer {
+    std::string name;
+    Index m = 0, k = 0, n = 0;  ///< C(m x n) = W(m x k) * X(k x n)
+    MatrixF weight;
+    std::optional<TasdConfig> config;
+    /// Shared, prewarmed decomposition; null for dense layers.
+    std::shared_ptr<const DecompositionPlan> plan;
+    /// Bound structured kernel; engaged exactly when config is.
+    std::optional<TasdSeriesGemm> series;
+    double kept_nnz_fraction = 0.0;  ///< stored values / total positions
+  };
+
+  CompiledNetwork(CompiledNetwork&&) = default;
+  CompiledNetwork& operator=(CompiledNetwork&&) = default;
+  CompiledNetwork(const CompiledNetwork&) = delete;
+  CompiledNetwork& operator=(const CompiledNetwork&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const BoundLayer& layer(std::size_t i) const;
+  [[nodiscard]] const CompileOptions& options() const { return opt_; }
+
+  /// Layers with a bound TASD series.
+  [[nodiscard]] std::size_t configured_count() const;
+
+  /// Compressed plan footprint in bytes across configured layers — the
+  /// per-artifact memory a serving process holds resident.
+  [[nodiscard]] Index plan_bytes() const;
+
+  /// Execute one layer on a dense right-hand side through its bound
+  /// kernel: the TASD series (TasdSeriesGemm::multiply) when configured,
+  /// the dense kernel otherwise. Bit-identical to those paths at every
+  /// thread count. `input` must have layer(i).k rows.
+  [[nodiscard]] MatrixF run(std::size_t layer_index,
+                            const MatrixF& input) const;
+
+  /// Execute one layer on a batch of right-hand sides (ragged widths
+  /// allowed) through its bound batch kernel, sharing the layer's one
+  /// plan across every item. Bit-identical to looping run() over the
+  /// items, at every thread count and batch size.
+  [[nodiscard]] std::vector<MatrixF> run_batch(
+      std::size_t layer_index, std::span<const MatrixF> inputs) const;
+
+  /// Measure every layer (dense kernel, and the TASD series where bound)
+  /// at the compile-time n_divisor shrink: the Fig. 16 per-layer report.
+  /// Feed the result to conversion_order() / network_latency_ms().
+  [[nodiscard]] std::vector<LayerTiming> measure() const;
+
+  /// Measure dense vs TASD serving throughput (queries/sec) at each
+  /// batch size, query_cols columns per query. One entry per batch size,
+  /// in order. Every batch size reuses the prewarmed plans.
+  [[nodiscard]] std::vector<ServingThroughput> serving_throughput(
+      const std::vector<std::size_t>& batch_sizes = {1, 4, 16, 64}) const;
+
+  /// The execution policy every method runs under (the artifact's pool
+  /// binding and kernel selection).
+  [[nodiscard]] ExecPolicy policy() const;
+
+ private:
+  friend CompiledNetwork compile(std::string name,
+                                 std::vector<dnn::LayerBinding> layers,
+                                 const CompileOptions& opt);
+  CompiledNetwork() = default;
+
+  std::string name_;
+  CompileOptions opt_;
+  std::vector<BoundLayer> layers_;
+  /// Dedicated pool when opt_.measure.num_threads != 0 (unique_ptr so
+  /// the ExecPolicy pool pointer survives moves of the artifact).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Compile a full-scale workload under per-layer configs (entries align
+/// with net.layers; nullopt = dense) into an executable artifact,
+/// prewarming every configured layer's plan exactly once.
+CompiledNetwork compile(const dnn::NetworkWorkload& net,
+                        const std::vector<std::optional<TasdConfig>>& configs,
+                        const CompileOptions& opt = {});
+
+/// Compile explicit layer bindings (e.g. dnn::bind_layers of a model the
+/// TASDER facade optimized — see tasder::compile).
+CompiledNetwork compile(std::string name,
+                        std::vector<dnn::LayerBinding> layers,
+                        const CompileOptions& opt = {});
+
+}  // namespace tasd::rt

@@ -1,184 +1,34 @@
 #include "runtime/engine.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <numeric>
-#include <optional>
-
-#include "common/error.hpp"
-#include "common/rng.hpp"
-#include "common/timer.hpp"
-#include "core/plan_cache.hpp"
-#include "runtime/dense_gemm.hpp"
-#include "tensor/generator.hpp"
-
 namespace tasd::rt {
+
+namespace {
+
+CompileOptions to_compile_options(const MeasureOptions& measure,
+                                  Index n_divisor, Index query_cols) {
+  CompileOptions opt;
+  opt.measure = measure;
+  opt.n_divisor = n_divisor;
+  opt.query_cols = query_cols;
+  return opt;
+}
+
+}  // namespace
 
 std::vector<LayerTiming> measure_workload(
     const dnn::NetworkWorkload& net,
     const std::vector<std::optional<TasdConfig>>& configs,
     const EngineOptions& opt) {
-  TASD_CHECK_MSG(configs.size() == net.layers.size(),
-                 "config list must align with workload layers");
-  Rng rng(opt.data_seed);
-  std::vector<LayerTiming> out;
-  out.reserve(net.layers.size());
-
-  std::optional<ThreadPool> dedicated;
-  if (opt.num_threads != 0) dedicated.emplace(opt.num_threads);
-  ExecPolicy policy;
-  policy.pool = dedicated ? &*dedicated : nullptr;
-
-  for (std::size_t i = 0; i < net.layers.size(); ++i) {
-    const auto& layer = net.layers[i];
-    LayerTiming t;
-    t.name = layer.name;
-    t.m = layer.m;
-    t.k = layer.k;
-    // Rounded division with a uniform floor of min(layer.n, n_divisor-1):
-    // layers with fewer than n_divisor positions keep their full N, the
-    // measured N is monotone in layer.n (no cliff at layer.n ==
-    // n_divisor), and above the floor region it is exactly proportional
-    // to the true N, so cross-layer savings rankings are preserved.
-    // Layers whose rounded quotient falls below the floor all measure at
-    // the floor — the unavoidable cost of any floor, accepted because
-    // clamping toward n=1 (the old max(1, n/div)) had the same plateau
-    // at 1 *and* distorted the per-layer dense/TASD ratio there.
-    TASD_CHECK_MSG(opt.n_divisor >= 1, "n_divisor must be >= 1");
-    t.n = std::max<Index>(
-        {Index{1}, (layer.n + opt.n_divisor / 2) / opt.n_divisor,
-         std::min<Index>(layer.n, opt.n_divisor - 1)});
-    t.config = configs[i];
-
-    const MatrixF w = dnn::materialize_weight(layer);
-    const MatrixF b = random_dense(t.k, t.n, Dist::kNormalStd1, rng);
-
-    volatile float sink = 0.0F;  // defeat dead-code elimination
-    t.dense_ms = time_ms_min(opt.repeats, [&] {
-      const MatrixF c = dense_gemm(w, b, policy);
-      sink = sink + c(0, 0);
-    });
-
-    if (t.config) {
-      const TasdSeriesGemm series =
-          opt.use_plan_cache
-              ? TasdSeriesGemm(plan_cache().get_or_build(w, *t.config))
-              : TasdSeriesGemm(
-                    std::make_shared<const DecompositionPlan>(
-                        build_plan(w, *t.config)));
-      t.kept_nnz_fraction =
-          static_cast<double>(series.nnz()) / static_cast<double>(w.size());
-      t.tasd_ms = time_ms_min(opt.repeats, [&] {
-        const MatrixF c = series.multiply(b, policy);
-        sink = sink + c(0, 0);
-      });
-    }
-    out.push_back(std::move(t));
-  }
-  return out;
-}
-
-double network_latency_ms(const std::vector<LayerTiming>& timings,
-                          const std::vector<std::size_t>& order,
-                          std::size_t num_converted) {
-  TASD_CHECK_MSG(num_converted <= order.size(),
-                 "num_converted exceeds layer count");
-  std::vector<bool> converted(timings.size(), false);
-  for (std::size_t i = 0; i < num_converted; ++i) converted[order[i]] = true;
-  double total = 0.0;
-  for (std::size_t i = 0; i < timings.size(); ++i) {
-    const auto& t = timings[i];
-    // A converted layer keeps the faster of its two measured engines.
-    total += converted[i] ? t.best_ms() : t.dense_ms;
-  }
-  return total;
-}
-
-std::vector<std::size_t> conversion_order(
-    const std::vector<LayerTiming>& timings) {
-  std::vector<std::size_t> order(timings.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  // conversion_savings_ms() is zero for unconfigured layers and for
-  // configured layers whose TASD series measured slower than dense, so
-  // neither can rank ahead of a layer with a real saving (the old -1.0
-  // sentinel let a layer *losing* up to 1 ms outrank unconfigured ones).
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    const double save_a = timings[a].conversion_savings_ms();
-    const double save_b = timings[b].conversion_savings_ms();
-    if (save_a != save_b) return save_a > save_b;
-    return a < b;
-  });
-  return order;
+  return compile(net, configs, to_compile_options(opt, opt.n_divisor, 1))
+      .measure();
 }
 
 std::vector<ServingThroughput> measure_serving_throughput(
     const dnn::NetworkWorkload& net,
     const std::vector<std::optional<TasdConfig>>& configs,
     const ServingOptions& opt) {
-  TASD_CHECK_MSG(configs.size() == net.layers.size(),
-                 "config list must align with workload layers");
-  TASD_CHECK_MSG(opt.query_cols >= 1, "query_cols must be >= 1");
-
-  std::optional<ThreadPool> dedicated;
-  if (opt.num_threads != 0) dedicated.emplace(opt.num_threads);
-  ExecPolicy policy;
-  policy.pool = dedicated ? &*dedicated : nullptr;
-
-  // Materialize weights and build each configured layer's decomposition
-  // plan once; the same plan then serves every batch size and item.
-  struct LayerExec {
-    MatrixF w;
-    std::optional<TasdSeriesGemm> series;
-  };
-  std::vector<LayerExec> layers;
-  layers.reserve(net.layers.size());
-  for (std::size_t i = 0; i < net.layers.size(); ++i) {
-    LayerExec le;
-    le.w = dnn::materialize_weight(net.layers[i]);
-    if (configs[i]) {
-      le.series.emplace(
-          opt.use_plan_cache
-              ? plan_cache().get_or_build(le.w, *configs[i])
-              : std::make_shared<const DecompositionPlan>(
-                    build_plan(le.w, *configs[i])));
-    }
-    layers.push_back(std::move(le));
-  }
-
-  std::vector<ServingThroughput> out;
-  out.reserve(opt.batch_sizes.size());
-  volatile float sink = 0.0F;  // defeat dead-code elimination
-  for (const std::size_t batch : opt.batch_sizes) {
-    TASD_CHECK_MSG(batch >= 1, "batch sizes must be >= 1");
-    ServingThroughput r;
-    r.batch_size = batch;
-    Rng rng(opt.data_seed + batch);
-    for (const auto& le : layers) {
-      std::vector<MatrixF> bs;
-      bs.reserve(batch);
-      for (std::size_t q = 0; q < batch; ++q)
-        bs.push_back(
-            random_dense(le.w.cols(), opt.query_cols, Dist::kNormalStd1, rng));
-      const double dense_ms = time_ms_min(opt.repeats, [&] {
-        const auto cs = dense_gemm_batch(le.w, bs, policy);
-        sink = sink + cs[0](0, 0);
-      });
-      r.dense_ms += dense_ms;
-      if (le.series) {
-        r.tasd_ms += time_ms_min(opt.repeats, [&] {
-          const auto cs = le.series->multiply_batch(bs, policy);
-          sink = sink + cs[0](0, 0);
-        });
-      } else {
-        r.tasd_ms += dense_ms;
-      }
-    }
-    const double queries = static_cast<double>(batch);
-    r.dense_qps = r.dense_ms > 0.0 ? queries * 1e3 / r.dense_ms : 0.0;
-    r.tasd_qps = r.tasd_ms > 0.0 ? queries * 1e3 / r.tasd_ms : 0.0;
-    out.push_back(r);
-  }
-  return out;
+  return compile(net, configs, to_compile_options(opt, 4, opt.query_cols))
+      .serving_throughput(opt.batch_sizes);
 }
 
 }  // namespace tasd::rt

@@ -1,131 +1,54 @@
-// Wall-clock execution engine for full-scale GEMM workloads — the
-// repository's stand-in for the paper's TensorRT-on-RTX3080 real-system
-// experiment (§5.5, Fig. 16). See DESIGN.md's substitution table.
+// Deprecated one-shot wrappers around the compile-once/execute-many
+// session API (runtime/compiled_network.hpp).
 //
-// For each layer the engine measures the dense kernel and (when a TASD
-// series is chosen) the compressed structured kernel, then composes
-// network latency from per-layer timings exactly the way a layer-serial
-// inference runtime does.
+// The wall-clock execution engine — the repository's stand-in for the
+// paper's TensorRT-on-RTX3080 real-system experiment (§5.5, Fig. 16) —
+// now lives in rt::CompiledNetwork: rt::compile() binds per-layer kernels
+// and prewarms decomposition plans once, then measure() /
+// serving_throughput() / run() execute the artifact repeatedly. The free
+// functions below compile a throwaway artifact per call; they are kept
+// for one PR for source compatibility and will be removed.
 #pragma once
 
-#include <algorithm>
-#include <cstddef>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "core/config.hpp"
-#include "dnn/workloads.hpp"
-#include "runtime/nm_gemm.hpp"
+#include "runtime/compiled_network.hpp"
 
 namespace tasd::rt {
 
-/// Measured timings of one layer.
-struct LayerTiming {
-  std::string name;
-  Index m = 0, k = 0, n = 0;
-  double dense_ms = 0.0;
-  double tasd_ms = 0.0;              ///< 0 when no series configured
-  std::optional<TasdConfig> config;
-  double kept_nnz_fraction = 0.0;    ///< stored values / total positions
-
-  /// Best available time for this layer. A deployment engineer who
-  /// measures both engines keeps the dense kernel when the TASD series
-  /// turns out slower, so a configured layer contributes the minimum of
-  /// the two timings, never a slower-than-dense TASD time.
-  [[nodiscard]] double best_ms() const {
-    return config ? std::min(tasd_ms, dense_ms) : dense_ms;
-  }
-
-  /// Wall-clock saved by converting this layer (dense_ms - best_ms():
-  /// zero for unconfigured or slower-than-dense layers, never negative).
-  [[nodiscard]] double conversion_savings_ms() const {
-    return dense_ms - best_ms();
-  }
+/// Options of the one-shot measure_workload wrapper. The measurement
+/// fields live in the shared rt::MeasureOptions base; only the N shrink
+/// is engine-specific. Prefer rt::CompileOptions.
+struct EngineOptions : MeasureOptions {
+  /// See CompileOptions::n_divisor.
+  Index n_divisor = 4;
 };
 
-/// Engine options.
-struct EngineOptions {
-  /// Shrink every layer's N (positions) by this factor so per-layer
-  /// measurements finish quickly; speed-up ratios are unaffected because
-  /// both kernels scale linearly in N. The division rounds to nearest
-  /// with a floor of min(n, n_divisor - 1), so layers with fewer than
-  /// n_divisor positions are not shrunk at all and the measured N is
-  /// monotone in the layer's N — truncating tiny layers to n=1 would
-  /// distort the dense/TASD ratio the Fig. 16 experiment depends on.
-  Index n_divisor = 4;
-  /// Timing repetitions; the minimum is reported.
-  int repeats = 3;
-  std::uint64_t data_seed = 99;
-  /// Kernel parallelism. 0 = the process default (TASD_NUM_THREADS, or
-  /// hardware concurrency when unset); any other value builds a dedicated
-  /// pool of that size for this measurement. Timings change with the
-  /// thread count, kernel *results* never do.
-  std::size_t num_threads = 0;
-  /// Reuse decompositions from the process-wide PlanCache: repeated
-  /// measurements of the same weights (TASDER sweeps, bench reruns)
-  /// perform zero additional decompositions.
-  bool use_plan_cache = true;
+/// Options of the one-shot measure_serving_throughput wrapper. The
+/// measurement fields live in the shared rt::MeasureOptions base.
+/// Prefer rt::CompileOptions + CompiledNetwork::serving_throughput().
+struct ServingOptions : MeasureOptions {
+  /// Concurrent queries measured per data point.
+  std::vector<std::size_t> batch_sizes{1, 4, 16, 64};
+  /// See CompileOptions::query_cols.
+  Index query_cols = 1;
 };
 
 /// Measure every layer of a workload under the given per-layer configs
 /// (entries align with net.layers; nullopt = dense).
+[[deprecated(
+    "compile once and execute many: rt::compile(net, configs, opts)"
+    ".measure()")]]
 std::vector<LayerTiming> measure_workload(
     const dnn::NetworkWorkload& net,
     const std::vector<std::optional<TasdConfig>>& configs,
     const EngineOptions& opt = {});
 
-/// Compose total network latency with the first `num_converted` layers
-/// (by the given order) using their best_ms() — a converted layer keeps
-/// the dense kernel when TASD measured slower — and the rest dense.
-/// `order` holds indices into `timings`. With the conversion_order()
-/// ranking, latency is non-increasing in num_converted.
-double network_latency_ms(const std::vector<LayerTiming>& timings,
-                          const std::vector<std::size_t>& order,
-                          std::size_t num_converted);
-
-/// Order layers by descending wall-clock saved (conversion_savings_ms):
-/// the order in which a deployment engineer would convert layers.
-/// Layers that are not convertible (no config) or would lose time
-/// (tasd_ms >= dense_ms) save exactly zero and therefore rank after
-/// every layer with a real saving — never ahead of them.
-std::vector<std::size_t> conversion_order(
-    const std::vector<LayerTiming>& timings);
-
-// ------------------------------------------------------- serving path
-
-/// Options for the batched serving-throughput measurement.
-struct ServingOptions {
-  /// Concurrent queries measured per data point.
-  std::vector<std::size_t> batch_sizes{1, 4, 16, 64};
-  /// Right-hand-side columns of one query (1 = GEMV-style serving, the
-  /// latency-bound case batching amortizes).
-  Index query_cols = 1;
-  /// Timing repetitions; the minimum is reported.
-  int repeats = 3;
-  std::uint64_t data_seed = 99;
-  /// Kernel parallelism (same contract as EngineOptions::num_threads).
-  std::size_t num_threads = 0;
-  /// Reuse decompositions from the process-wide PlanCache; one plan per
-  /// layer is shared across every batch size and every batch item.
-  bool use_plan_cache = true;
-};
-
-/// Serving throughput of a whole network at one batch size: the batch
-/// latency is the sum of per-layer batched kernel times (layer-serial,
-/// like network_latency_ms), and queries/sec follows directly.
-struct ServingThroughput {
-  std::size_t batch_size = 0;
-  double dense_ms = 0.0;   ///< whole-net batch latency, dense kernels
-  double tasd_ms = 0.0;    ///< same with configured layers on TASD batch
-  double dense_qps = 0.0;  ///< batch_size / dense seconds
-  double tasd_qps = 0.0;   ///< batch_size / TASD seconds
-};
-
 /// Measure dense vs TASD serving throughput (queries/sec) at each batch
 /// size. Configured layers execute through TasdSeriesGemm::multiply_batch
 /// (one DecompositionPlan shared across the batch); unconfigured layers
 /// through the dense batch kernel. One entry per batch size, in order.
+[[deprecated(
+    "compile once and execute many: rt::compile(net, configs, opts)"
+    ".serving_throughput(batch_sizes)")]]
 std::vector<ServingThroughput> measure_serving_throughput(
     const dnn::NetworkWorkload& net,
     const std::vector<std::optional<TasdConfig>>& configs,

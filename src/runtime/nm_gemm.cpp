@@ -57,7 +57,10 @@ TasdSeriesGemm::TasdSeriesGemm(std::shared_ptr<const DecompositionPlan> plan)
 
 MatrixF TasdSeriesGemm::multiply(const MatrixF& b,
                                  const ExecPolicy& policy) const {
-  TASD_CHECK_MSG(cols_ == b.rows(), "TASD series GEMM inner dim mismatch");
+  TASD_CHECK_MSG(cols_ == b.rows(),
+                 "TASD series GEMM shape mismatch: series is "
+                     << rows_ << "x" << cols_ << ", so b needs " << cols_
+                     << " rows, got " << b.rows() << "x" << b.cols());
   MatrixF c(rows_, b.cols());
   // Term-major through the registry so kernel selection (policy or
   // set_default_nm) applies to the series path too. Per output element
@@ -76,7 +79,10 @@ std::vector<MatrixF> TasdSeriesGemm::multiply_batch(
   cs.reserve(bs.size());
   for (std::size_t i = 0; i < bs.size(); ++i) {
     TASD_CHECK_MSG(cols_ == bs[i].rows(),
-                   "TASD series batch GEMM inner dim mismatch at item " << i);
+                   "TASD series batch GEMM shape mismatch: series is "
+                       << rows_ << "x" << cols_ << ", so every item needs "
+                       << cols_ << " rows, got " << bs[i].rows() << "x"
+                       << bs[i].cols() << " at item " << i);
     cs.emplace_back(rows_, bs[i].cols());
   }
   if (bs.empty()) return cs;

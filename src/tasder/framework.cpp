@@ -1,5 +1,7 @@
 #include "tasder/framework.hpp"
 
+#include "dnn/layer_binding.hpp"
+
 namespace tasd::tasder {
 
 std::string TasderModelResult::mode_name() const {
@@ -35,6 +37,20 @@ TasderModelResult optimize_model(dnn::Model& model, const HwProfile& hw,
     result.mac_fraction = result.tasda.mac_fraction;
   }
   return result;
+}
+
+TasderCompiled compile(dnn::Model& model, const HwProfile& hw,
+                       const dnn::EvalSet& calib, const dnn::EvalSet& eval,
+                       const std::vector<Index>& reference,
+                       const TasderOptions& opt,
+                       const rt::CompileOptions& compile_opt,
+                       Index measure_positions) {
+  TasderModelResult decision =
+      optimize_model(model, hw, calib, eval, reference, opt);
+  rt::CompiledNetwork network =
+      rt::compile(model.name(), dnn::bind_layers(model, measure_positions),
+                  compile_opt);
+  return {std::move(decision), std::move(network)};
 }
 
 }  // namespace tasd::tasder

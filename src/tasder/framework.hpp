@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "runtime/compiled_network.hpp"
 #include "tasder/tasda.hpp"
 #include "tasder/tasdw.hpp"
 #include "tasder/workload_opt.hpp"
@@ -43,5 +44,28 @@ TasderModelResult optimize_model(dnn::Model& model, const HwProfile& hw,
                                  const dnn::EvalSet& eval,
                                  const std::vector<Index>& reference,
                                  const TasderOptions& opt = {});
+
+/// A deployable compilation of an optimized model: the TASDER decision
+/// plus the executable artifact over the model's GEMM layers. Move-only
+/// (the artifact owns its plans and pool).
+struct TasderCompiled {
+  TasderModelResult decision;
+  rt::CompiledNetwork network;
+};
+
+/// Compile-once entry point: run optimize_model(), then bind the model's
+/// GEMM layers into an rt::CompiledNetwork — TASD-W series become bound
+/// structured kernels over prewarmed plans; layers left dense (including
+/// all layers under TASD-A, a dynamic activation transformation with no
+/// static kernel to bind) bind the dense kernel. The artifact is ready
+/// for run()/run_batch()/measure()/serving_throughput() with zero
+/// further decompositions. `measure_positions` sets every layer's
+/// measurement width (models don't pin activation widths statically).
+TasderCompiled compile(dnn::Model& model, const HwProfile& hw,
+                       const dnn::EvalSet& calib, const dnn::EvalSet& eval,
+                       const std::vector<Index>& reference,
+                       const TasderOptions& opt = {},
+                       const rt::CompileOptions& compile_opt = {},
+                       Index measure_positions = 128);
 
 }  // namespace tasd::tasder

@@ -1,0 +1,88 @@
+// Round-trip property of the TasdConfig text form: parse(str(c)) == c
+// for every well-formed config, str(parse(s)) == s for every canonical
+// string, the "<empty>" rendering of an order-0 config is display-only
+// (not parseable), and malformed inputs throw with messages that name
+// the offending input.
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace tasd {
+namespace {
+
+TEST(TasdConfigRoundtrip, ParseOfStrIsIdentityOnRandomConfigs) {
+  Rng rng(31337);
+  const std::vector<int> ms{2, 4, 8, 16, 32};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto order = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<sparse::NMPattern> terms;
+    for (std::size_t t = 0; t < order; ++t) {
+      const int m = ms[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ms.size()) - 1))];
+      // n = 0 ("keep nothing") is a legal pattern and must round-trip.
+      const int n = static_cast<int>(rng.uniform_int(0, m));
+      terms.emplace_back(n, m);
+    }
+    const TasdConfig cfg(terms);
+    const std::string text = cfg.str();
+    EXPECT_EQ(TasdConfig::parse(text), cfg) << "text: " << text;
+  }
+}
+
+TEST(TasdConfigRoundtrip, StrOfParseIsIdentityOnCanonicalStrings) {
+  for (const std::string s :
+       {"2:4", "4:8+1:8", "2:4+2:8+2:16", "0:4", "16:16", "1:32+0:2"}) {
+    EXPECT_EQ(TasdConfig::parse(s).str(), s);
+  }
+}
+
+TEST(TasdConfigRoundtrip, EmptyRenderingIsDisplayOnly) {
+  // An order-0 config renders as "<empty>", which is deliberately not
+  // parseable input — round-tripping it must fail loudly, not produce a
+  // config silently.
+  const TasdConfig empty;
+  EXPECT_EQ(empty.str(), "<empty>");
+  try {
+    (void)TasdConfig::parse(empty.str());
+    FAIL() << "parse(\"<empty>\") must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("<empty>"), std::string::npos)
+        << "message should name the offending input: " << e.what();
+  }
+}
+
+TEST(TasdConfigRoundtrip, MalformedInputsThrowWithContext) {
+  // Every message must carry the full config text so a user who fed a
+  // bad series string can see which one.
+  for (const std::string bad :
+       {"", "2:4+", "+2:4", "2:4++1:8", "garbage", "2:", ":4", "2:4+junk",
+        "5:4", "-1:4", "2:4 + 2:8"}) {
+    try {
+      (void)TasdConfig::parse(bad);
+      FAIL() << "parse must reject '" << bad << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(bad), std::string::npos)
+          << "message for '" << bad << "' lacks the input: " << e.what();
+    }
+  }
+}
+
+TEST(TasdConfigRoundtrip, MalformedTermMessageNamesTermPosition) {
+  try {
+    (void)TasdConfig::parse("2:4+banana+1:8");
+    FAIL() << "parse must reject the malformed middle term";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("term 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace tasd

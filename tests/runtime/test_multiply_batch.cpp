@@ -159,6 +159,46 @@ TEST(MultiplyBatch, MismatchedItemThrows) {
   EXPECT_THROW(series.multiply_batch(bs), Error);
 }
 
+// --- TasdSeriesGemm shape validation: a wrong b.rows() must throw a
+// tasd::Error whose message carries both operand shapes (not corrupt
+// memory or return garbage), for the single-RHS and the batched path.
+
+TEST(MultiplyBatch, SeriesMultiplyRejectsWrongInnerDimWithShapesInMessage) {
+  Rng rng(47);
+  const MatrixF a = random_dense(8, 12, Dist::kNormalStd1, rng);
+  const TasdSeriesGemm series(decompose(a, TasdConfig::parse("2:4")));
+  for (const Index rows : {Index{11}, Index{13}, Index{1}}) {
+    const MatrixF bad = random_dense(rows, 3, Dist::kNormalStd1, rng);
+    try {
+      (void)series.multiply(bad);
+      FAIL() << "multiply must reject a " << rows << "-row b";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("8x12"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(std::to_string(rows) + "x3"), std::string::npos)
+          << msg;
+    }
+  }
+}
+
+TEST(MultiplyBatch, SeriesMultiplyBatchNamesOffendingItem) {
+  Rng rng(48);
+  const MatrixF a = random_dense(8, 12, Dist::kNormalStd1, rng);
+  const TasdSeriesGemm series(decompose(a, TasdConfig::parse("2:4")));
+  std::vector<MatrixF> bs;
+  bs.push_back(random_dense(12, 3, Dist::kNormalStd1, rng));
+  bs.push_back(random_dense(12, 3, Dist::kNormalStd1, rng));
+  bs.push_back(random_dense(9, 3, Dist::kNormalStd1, rng));  // bad rows
+  try {
+    (void)series.multiply_batch(bs);
+    FAIL() << "multiply_batch must reject the mismatched item";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("item 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("9x3"), std::string::npos) << msg;
+  }
+}
+
 TEST(MultiplyBatch, RegistryListsBatchBuiltinsAndDefaults) {
   auto& dispatch = GemmDispatch::instance();
   const auto dense_names = dispatch.dense_batch_kernels();

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "core/plan_cache.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/pruning.hpp"
+#include "tensor/generator.hpp"
 
 namespace tasd::tasder {
 namespace {
@@ -63,6 +66,54 @@ TEST(Framework, NoTasdUnitsMeansNoActivationMode) {
   const auto r = optimize_model(model, hw, calib, eval, ref);
   // Plain VEGETA cannot decompose dense activations dynamically.
   EXPECT_EQ(r.mode, TasderMode::kNone);
+}
+
+TEST(Framework, CompileProducesDeployableArtifact) {
+  dnn::Model model = dnn::make_resnet(18, tiny());
+  (void)dnn::prune_unstructured(model, 0.92);
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 409);
+  const auto eval = dnn::EvalSet::images(32, 8, 3, 410);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::ttc_vegeta_m8());
+
+  const auto compiled = compile(model, hw, calib, eval, ref);
+  EXPECT_EQ(compiled.decision.mode, TasderMode::kWeights);
+  EXPECT_EQ(compiled.network.layer_count(), model.gemm_layers().size());
+  // The artifact binds exactly the layers TASD-W configured.
+  std::size_t configured = 0;
+  const auto layers = model.gemm_layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& bound = compiled.network.layer(i);
+    EXPECT_EQ(bound.name, layers[i]->name());
+    EXPECT_EQ(bound.config, layers[i]->tasd_w());
+    if (layers[i]->tasd_w()) ++configured;
+  }
+  EXPECT_EQ(compiled.network.configured_count(), configured);
+  EXPECT_GT(configured, 0u) << "a 92%-sparse model should convert layers";
+
+  // Executing the artifact decomposes nothing further.
+  Rng rng(411);
+  const auto before = plan_cache().stats();
+  const MatrixF input = random_dense(compiled.network.layer(0).k, 4,
+                                     Dist::kNormalStd1, rng);
+  const MatrixF out = compiled.network.run(0, input);
+  EXPECT_EQ(out.rows(), compiled.network.layer(0).m);
+  EXPECT_EQ(out.cols(), 4u);
+  const auto after = plan_cache().stats();
+  EXPECT_EQ(after.decompositions, before.decompositions);
+}
+
+TEST(Framework, CompileOnDenseHardwareBindsAllDense) {
+  dnn::Model model = dnn::make_resnet(18, tiny());
+  const auto calib = dnn::EvalSet::images(8, 8, 3, 412);
+  const auto eval = dnn::EvalSet::images(16, 8, 3, 413);
+  const auto ref = dnn::predict(model, eval);
+  const auto hw = hw_profile_from(accel::ArchConfig::dense_tc());
+  const auto compiled = compile(model, hw, calib, eval, ref);
+  EXPECT_EQ(compiled.decision.mode, TasderMode::kNone);
+  EXPECT_EQ(compiled.network.configured_count(), 0u);
+  EXPECT_EQ(compiled.network.plan_bytes(), 0u);
+  EXPECT_EQ(compiled.network.layer_count(), model.gemm_layers().size());
 }
 
 TEST(Framework, ModeNames) {
