@@ -6,11 +6,15 @@
 // through the packed batch kernels, which amortize per-k-step overhead
 // over the whole batch — the queries/sec gain over batch-1 is the
 // serving story (DeepSparse-style CPU runtimes, 2:4 tensor-core serving).
+// The sweep runs once per kernel set — the pinned scalar kernels and,
+// when the CPU supports them, the AVX2/FMA kernels — so the JSON records
+// scalar vs SIMD serving throughput side by side.
 //
-// Emits BENCH_serving.json (schema tasd-bench-serving-v1). Before
-// timing, every layer's batched TASD output is checked bit-exact (`==`)
-// against looping the single-RHS multiply — a wrong-but-fast batch
-// kernel fails loudly here (non-zero exit).
+// Emits BENCH_serving.json (schema tasd-bench-serving-v2; see
+// docs/reproducing.md). Before timing, every layer's batched TASD output
+// is checked bit-exact (`==`) against looping the single-RHS multiply of
+// the same artifact — a wrong-but-fast batch kernel fails loudly here
+// (non-zero exit).
 //
 // Usage: serving_throughput [output.json] [--quick]
 #include <cstdio>
@@ -29,11 +33,13 @@ using namespace tasd;
 
 /// Batched outputs == per-RHS loops, for every layer of the compiled
 /// artifact at one probe batch size: run_batch vs run for the bound
-/// (TASD) kernels, plus the dense batch kernel vs the dense single-RHS
-/// kernel on the same weights.
+/// (TASD) kernels, plus the artifact's dense batch kernel vs its dense
+/// single-RHS kernel on the same weights (one rounding family per
+/// artifact — the policy carries the resolved kernel names).
 bool verify_bit_exact(const rt::CompiledNetwork& engine, std::size_t batch,
                       Index query_cols) {
   Rng rng(7001);
+  const rt::ExecPolicy policy = engine.policy();
   bool ok = true;
   for (std::size_t i = 0; i < engine.layer_count(); ++i) {
     const auto& layer = engine.layer(i);
@@ -41,9 +47,9 @@ bool verify_bit_exact(const rt::CompiledNetwork& engine, std::size_t batch,
     for (std::size_t q = 0; q < batch; ++q)
       bs.push_back(random_dense(layer.k, query_cols, Dist::kNormalStd1, rng));
 
-    const auto dense_batch = rt::dense_gemm_batch(layer.weight, bs);
+    const auto dense_batch = rt::dense_gemm_batch(layer.weight, bs, policy);
     for (std::size_t q = 0; q < batch; ++q)
-      ok = ok && (dense_batch[q] == rt::dense_gemm(layer.weight, bs[q]));
+      ok = ok && (dense_batch[q] == rt::dense_gemm(layer.weight, bs[q], policy));
 
     const auto bound_batch = engine.run_batch(i, bs);
     for (std::size_t q = 0; q < batch; ++q)
@@ -57,6 +63,15 @@ bool verify_bit_exact(const rt::CompiledNetwork& engine, std::size_t batch,
   }
   return true;
 }
+
+struct KernelSetResult {
+  std::string label;         ///< "scalar" | "avx2"
+  std::string dense_kernel;  ///< resolved registry names
+  std::string nm_kernel;
+  Index plan_bytes = 0;
+  double scaling_b16_over_b1 = 0.0;
+  std::vector<rt::ServingThroughput> entries;
+};
 
 }  // namespace
 
@@ -79,76 +94,117 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> batch_sizes =
       quick ? std::vector<std::size_t>{1, 16}
             : std::vector<std::size_t>{1, 4, 16, 64};
-  rt::CompileOptions opt;
-  opt.query_cols = 1;
-  opt.measure.repeats = quick ? 1 : 3;
 
-  // Compile once: every layer's plan is prewarmed here, and the same
-  // artifact serves the verification pass and every batch size.
-  std::fprintf(stderr, "compiling %s (%zu layers)...\n", net.name.c_str(),
-               net.layers.size());
-  const auto engine = rt::compile(net, configs, opt);
-  // Every layer is configured here; if the artifact silently bound the
-  // dense kernel somewhere, run_batch == run below would hold trivially
-  // and the sweep would report dense timings as TASD.
-  if (engine.configured_count() != net.layers.size()) {
-    std::fprintf(stderr, "** only %zu of %zu layers bound a TASD series **\n",
-                 engine.configured_count(), net.layers.size());
-    return 1;
+  // One artifact per kernel set; compiling both reuses every plan
+  // through the PlanCache, so the second compile decomposes nothing.
+  std::vector<std::pair<std::string, rt::CompileOptions>> kernel_sets;
+  {
+    rt::CompileOptions scalar;
+    scalar.query_cols = 1;
+    scalar.measure.repeats = quick ? 1 : 3;
+    scalar.dense_kernel = "tiled-parallel";
+    scalar.nm_kernel = "row-parallel";
+    scalar.dense_batch_kernel = "batch-packed";
+    scalar.nm_batch_kernel = "batch-packed";
+    kernel_sets.emplace_back("scalar", scalar);
+    // Gate on registry membership, not avx2_available(): a toolchain
+    // whose compiler rejects -mavx2 builds no AVX2 kernels even on
+    // capable hardware, and compiling an unregistered name would throw.
+    if (rt::GemmDispatch::instance().best_dense() == "dense-avx2") {
+      rt::CompileOptions simd = scalar;
+      simd.dense_kernel = "dense-avx2";
+      simd.nm_kernel = "nm-avx2";
+      simd.dense_batch_kernel = "dense-batch-avx2";
+      simd.nm_batch_kernel = "nm-batch-avx2";
+      kernel_sets.emplace_back("avx2", simd);
+    }
   }
-  const Index plan_bytes = engine.plan_bytes();
 
-  std::fprintf(stderr, "verifying batched == per-RHS single multiply...\n");
-  const bool bit_exact = verify_bit_exact(engine, 5, opt.query_cols);
-  if (!bit_exact) {
+  std::vector<KernelSetResult> results;
+  for (const auto& [label, opt] : kernel_sets) {
+    std::fprintf(stderr, "[%s] compiling %s (%zu layers)...\n", label.c_str(),
+                 net.name.c_str(), net.layers.size());
+    const auto engine = rt::compile(net, configs, opt);
+    // Every layer is configured here; if the artifact silently bound the
+    // dense kernel somewhere, run_batch == run below would hold
+    // trivially and the sweep would report dense timings as TASD.
+    if (engine.configured_count() != net.layers.size()) {
+      std::fprintf(stderr,
+                   "** only %zu of %zu layers bound a TASD series **\n",
+                   engine.configured_count(), net.layers.size());
+      return 1;
+    }
+
     std::fprintf(stderr,
-                 "** batched path is not bit-exact; skipping the timing "
-                 "sweep **\n");
-    return 1;
-  }
+                 "[%s] verifying batched == per-RHS single multiply...\n",
+                 label.c_str());
+    if (!verify_bit_exact(engine, 5, opt.query_cols)) {
+      std::fprintf(stderr,
+                   "** batched path is not bit-exact; skipping the timing "
+                   "sweep **\n");
+      return 1;
+    }
 
-  std::fprintf(stderr, "measuring %zu batch sizes...\n", batch_sizes.size());
-  const auto results = engine.serving_throughput(batch_sizes);
+    std::fprintf(stderr, "[%s] measuring %zu batch sizes...\n", label.c_str(),
+                 batch_sizes.size());
+    KernelSetResult r;
+    r.label = label;
+    r.dense_kernel = engine.options().dense_kernel;
+    r.nm_kernel = engine.options().nm_kernel;
+    r.plan_bytes = engine.plan_bytes();
+    r.entries = engine.serving_throughput(batch_sizes);
 
-  double qps_b1 = 0.0, qps_b16 = 0.0;
-  for (const auto& r : results) {
-    if (r.batch_size == 1) qps_b1 = r.tasd_qps;
-    if (r.batch_size == 16) qps_b16 = r.tasd_qps;
-    std::fprintf(stderr,
-                 "batch %3zu  dense %8.2f ms (%7.2f qps)  tasd %8.2f ms "
-                 "(%7.2f qps)  speedup %.3fx\n",
-                 r.batch_size, r.dense_ms, r.dense_qps, r.tasd_ms, r.tasd_qps,
-                 r.dense_ms / r.tasd_ms);
+    double qps_b1 = 0.0, qps_b16 = 0.0;
+    for (const auto& e : r.entries) {
+      if (e.batch_size == 1) qps_b1 = e.tasd_qps;
+      if (e.batch_size == 16) qps_b16 = e.tasd_qps;
+      std::fprintf(stderr,
+                   "[%s] batch %3zu  dense %8.2f ms (%7.2f qps)  tasd "
+                   "%8.2f ms (%7.2f qps)  speedup %.3fx\n",
+                   label.c_str(), e.batch_size, e.dense_ms, e.dense_qps,
+                   e.tasd_ms, e.tasd_qps, e.dense_ms / e.tasd_ms);
+    }
+    r.scaling_b16_over_b1 = qps_b1 > 0.0 ? qps_b16 / qps_b1 : 0.0;
+    results.push_back(std::move(r));
   }
-  const double scaling = qps_b1 > 0.0 ? qps_b16 / qps_b1 : 0.0;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
     std::perror("serving_throughput: cannot open output");
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"tasd-bench-serving-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"tasd-bench-serving-v2\",\n");
   std::fprintf(f, "  \"workload\": \"%s\",\n", net.name.c_str());
   std::fprintf(f, "  \"config\": \"2:4\",\n");
-  std::fprintf(f, "  \"query_cols\": %zu,\n",
-               static_cast<std::size_t>(opt.query_cols));
-  std::fprintf(f, "  \"plan_bytes\": %zu,\n",
-               static_cast<std::size_t>(plan_bytes));
-  std::fprintf(f, "  \"bit_exact\": %s,\n", bit_exact ? "true" : "false");
-  std::fprintf(f, "  \"tasd_qps_batch16_over_batch1\": %.6f,\n", scaling);
-  std::fprintf(f, "  \"entries\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    std::fprintf(f,
-                 "    {\"batch\": %zu, \"dense_ms\": %.6f, \"tasd_ms\": %.6f, "
-                 "\"dense_qps\": %.6f, \"tasd_qps\": %.6f}%s\n",
-                 r.batch_size, r.dense_ms, r.tasd_ms, r.dense_qps, r.tasd_qps,
-                 i + 1 < results.size() ? "," : "");
+  std::fprintf(f, "  \"query_cols\": 1,\n");
+  std::fprintf(f, "  \"bit_exact\": true,\n");
+  std::fprintf(f, "  \"kernel_sets\": [\n");
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    const auto& r = results[s];
+    std::fprintf(f, "    {\"kernels\": \"%s\", \"dense_kernel\": \"%s\", ",
+                 r.label.c_str(), r.dense_kernel.c_str());
+    std::fprintf(f, "\"nm_kernel\": \"%s\", \"plan_bytes\": %zu,\n",
+                 r.nm_kernel.c_str(), static_cast<std::size_t>(r.plan_bytes));
+    std::fprintf(f, "     \"tasd_qps_batch16_over_batch1\": %.6f,\n",
+                 r.scaling_b16_over_b1);
+    std::fprintf(f, "     \"entries\": [\n");
+    for (std::size_t i = 0; i < r.entries.size(); ++i) {
+      const auto& e = r.entries[i];
+      std::fprintf(
+          f,
+          "      {\"batch\": %zu, \"dense_ms\": %.6f, \"tasd_ms\": %.6f, "
+          "\"dense_qps\": %.6f, \"tasd_qps\": %.6f}%s\n",
+          e.batch_size, e.dense_ms, e.tasd_ms, e.dense_qps, e.tasd_qps,
+          i + 1 < r.entries.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", s + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 
-  std::fprintf(stderr, "wrote %s  (batch-16 tasd qps / batch-1: %.2fx)\n",
-               out_path.c_str(), scaling);
+  for (const auto& r : results)
+    std::fprintf(stderr, "%s: batch-16 tasd qps / batch-1: %.2fx\n",
+                 r.label.c_str(), r.scaling_b16_over_b1);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

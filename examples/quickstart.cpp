@@ -84,10 +84,15 @@ int main() {
       rt::compile("quickstart", std::move(bindings), {});
   const MatrixF served = engine.run(0, b);
   const auto batch_out = engine.run_batch(0, std::vector<MatrixF>{b, b});
-  const bool run_exact = served == hw_result;
+  // run() must be bit-exact to the direct series multiply under the
+  // artifact's resolved kernel selection ("auto" binds the AVX2 kernels
+  // when the CPU supports them, the scalar tiled kernels otherwise).
+  const bool run_exact = served == series.multiply(b, engine.policy());
   const bool batch_exact = batch_out[0] == served && batch_out[1] == served;
   std::cout << "\ncompiled artifact: " << engine.layer_count() << " layer, "
-            << engine.plan_bytes() << " plan bytes resident; run() == "
+            << engine.plan_bytes() << " plan bytes resident; kernels: "
+            << engine.options().dense_kernel << " / "
+            << engine.options().nm_kernel << "; run() == "
             << "direct series multiply: "
             << (run_exact ? "bit-exact" : "MISMATCH")
             << ", run_batch() == run(): "

@@ -1,0 +1,62 @@
+#include "common/cpu_features.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace tasd {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+// XGETBV(0) without requiring -mxsave at compile time; only executed
+// after CPUID confirms OSXSAVE.
+unsigned long long read_xcr0() {
+  unsigned int eax = 0, edx = 0;
+  __asm__ volatile(".byte 0x0f, 0x01, 0xd0"  // xgetbv
+                   : "=a"(eax), "=d"(edx)
+                   : "c"(0));
+  return (static_cast<unsigned long long>(edx) << 32) | eax;
+}
+
+}  // namespace
+
+CpuFeatures detect_cpu_features() {
+  CpuFeatures f;
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.fma = (ecx & bit_FMA) != 0;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  // XCR0 bits 1 (SSE) and 2 (AVX): the OS context-switches YMM state.
+  f.os_ymm = osxsave && (read_xcr0() & 0x6) == 0x6;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx))
+    f.avx2 = (ebx & bit_AVX2) != 0;
+  return f;
+}
+
+#else
+
+CpuFeatures detect_cpu_features() { return {}; }
+
+#endif
+
+bool avx2_enabled(const CpuFeatures& features, bool disabled_by_env) {
+  return features.avx2_usable() && !disabled_by_env;
+}
+
+bool avx2_disabled_by_env() {
+  const char* v = std::getenv("TASD_DISABLE_AVX2");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+bool avx2_available() {
+  static const bool available =
+      avx2_enabled(detect_cpu_features(), avx2_disabled_by_env());
+  return available;
+}
+
+}  // namespace tasd

@@ -183,17 +183,27 @@ CompiledNetwork compile(std::string name,
                         const CompileOptions& opt) {
   TASD_CHECK_MSG(opt.n_divisor >= 1, "n_divisor must be >= 1");
   TASD_CHECK_MSG(opt.query_cols >= 1, "query_cols must be >= 1");
-  // Kernel binding happens now, not at first execution: resolve every
-  // selected kernel name so a misspelled or unregistered name fails at
-  // compile time with the registry's descriptive error.
+  // Kernel binding happens now, not at first execution: "auto" resolves
+  // to the registry's best kernel (AVX2 when available, scalar
+  // otherwise), and every selected name is looked up so a misspelled or
+  // unregistered name fails at compile time with the registry's
+  // descriptive error. The artifact stores the *resolved* names: its
+  // kernel binding never changes after compile, even if the registry
+  // gains kernels later.
   const auto& dispatch = GemmDispatch::instance();
-  (void)dispatch.dense(opt.dense_kernel);
-  (void)dispatch.nm(opt.nm_kernel);
-  (void)dispatch.dense_batch(opt.dense_batch_kernel);
-  (void)dispatch.nm_batch(opt.nm_batch_kernel);
   CompiledNetwork cn;
   cn.name_ = std::move(name);
   cn.opt_ = opt;
+  if (cn.opt_.dense_kernel == "auto") cn.opt_.dense_kernel = dispatch.best_dense();
+  if (cn.opt_.nm_kernel == "auto") cn.opt_.nm_kernel = dispatch.best_nm();
+  if (cn.opt_.dense_batch_kernel == "auto")
+    cn.opt_.dense_batch_kernel = dispatch.best_dense_batch();
+  if (cn.opt_.nm_batch_kernel == "auto")
+    cn.opt_.nm_batch_kernel = dispatch.best_nm_batch();
+  (void)dispatch.dense(cn.opt_.dense_kernel);
+  (void)dispatch.nm(cn.opt_.nm_kernel);
+  (void)dispatch.dense_batch(cn.opt_.dense_batch_kernel);
+  (void)dispatch.nm_batch(cn.opt_.nm_batch_kernel);
   if (opt.measure.num_threads != 0)
     cn.pool_ = std::make_unique<ThreadPool>(opt.measure.num_threads);
   cn.layers_.reserve(layers.size());

@@ -16,8 +16,10 @@
 //    execution of the same artifact sees the same plans and weights.
 //  * Bit-exactness — run()/run_batch() are the same kernels the free
 //    execution paths use (TasdSeriesGemm::multiply / multiply_batch,
-//    dense_gemm / dense_gemm_batch), so outputs are bit-identical to them
-//    and to the serial reference at every thread count.
+//    dense_gemm / dense_gemm_batch), so outputs are bit-identical to those
+//    paths under the artifact's resolved policy() at every thread count.
+//    Kernel *selection* ("auto" → AVX2 vs scalar) picks a rounding family
+//    (see docs/kernels.md); within a family results never vary.
 //  * Plan prewarm — compile() performs at most one decomposition per
 //    configured layer (zero when the PlanCache already holds the plan);
 //    executing the artifact performs zero additional decompositions.
@@ -125,12 +127,15 @@ struct CompileOptions {
   /// Right-hand-side columns of one serving query (1 = GEMV-style
   /// serving, the latency-bound case batching amortizes).
   Index query_cols = 1;
-  /// Kernel selection by registry name; empty = the GemmDispatch
-  /// defaults.
-  std::string dense_kernel;
-  std::string nm_kernel;
-  std::string dense_batch_kernel;
-  std::string nm_batch_kernel;
+  /// Kernel selection by registry name. "auto" (the default) resolves at
+  /// compile() time through GemmDispatch::best_*() — the AVX2/FMA kernel
+  /// when runtime detection registered it, the scalar tiled kernel
+  /// otherwise — and the artifact's policy() reports the resolved name.
+  /// Empty = the GemmDispatch registry defaults (always scalar).
+  std::string dense_kernel = "auto";
+  std::string nm_kernel = "auto";
+  std::string dense_batch_kernel = "auto";
+  std::string nm_batch_kernel = "auto";
 };
 
 /// An immutable executable artifact: per-layer bound kernels (dense or

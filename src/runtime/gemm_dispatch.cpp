@@ -4,8 +4,13 @@
 #include <map>
 #include <mutex>
 
+#include "common/cpu_features.hpp"
 #include "common/error.hpp"
 #include "tensor/gemm_ref.hpp"
+
+#ifdef TASD_HAVE_AVX2_KERNELS
+#include "runtime/kernels_avx2.hpp"
+#endif
 
 namespace tasd::rt {
 
@@ -147,10 +152,11 @@ constexpr std::size_t kRowGrain = 8;
 // small enough that a short-m batch still fans out over the pool.
 constexpr Index kBatchColGrain = 128;
 
-/// Run `tile` over a deterministic (row-chunk, batch-column-chunk) grid
-/// covering rows x [0, total_cols).
-void run_tile_grid(ThreadPool& pool, Index rows, Index total_cols,
-                   const std::function<void(Index, Index, Index, Index)>& tile) {
+/// Run `tile(b, c, r0, r1, c0, c1)` over a deterministic (row-chunk,
+/// batch-column-chunk) grid covering rows x [0, b.cols()).
+void run_tile_grid(ThreadPool& pool, Index rows, const MatrixF& b, MatrixF& c,
+                   const PackedTileFn& tile) {
+  const Index total_cols = b.cols();
   if (rows == 0 || total_cols == 0) return;
   const Index row_chunks = (rows + kRowGrain - 1) / kRowGrain;
   const Index col_chunks = (total_cols + kBatchColGrain - 1) / kBatchColGrain;
@@ -158,8 +164,8 @@ void run_tile_grid(ThreadPool& pool, Index rows, Index total_cols,
                                                        std::size_t t1) {
     for (std::size_t t = t0; t < t1; ++t) {
       const Index rc = t / col_chunks, cc = t % col_chunks;
-      tile(rc * kRowGrain, std::min<Index>(rows, (rc + 1) * kRowGrain),
-           cc * kBatchColGrain,
+      tile(b, c, rc * kRowGrain,
+           std::min<Index>(rows, (rc + 1) * kRowGrain), cc * kBatchColGrain,
            std::min<Index>(total_cols, (cc + 1) * kBatchColGrain));
     }
   });
@@ -192,35 +198,9 @@ void nm_serial(const sparse::NMSparseMatrix& a, const MatrixF& b, MatrixF& c,
   nm_gemm_rows(a, b, c, 0, a.rows());
 }
 
-/// Shared body of the packed batch kernels: single-item batches run the
-/// tile grid in place (no pack/unpack); larger batches pack B and C
-/// once, run the grid over the packed pair, and unpack. `tile` is the
-/// per-kernel core, called as tile(b, c, r0, r1, c0, c1).
-template <typename TileFn>
-void packed_batch_run(Index rows, std::span<const MatrixF> bs,
-                      std::span<MatrixF> cs, ThreadPool& pool,
-                      TileFn&& tile) {
-  if (bs.size() == 1) {  // already one contiguous RHS: no pack/unpack
-    run_tile_grid(pool, rows, bs[0].cols(),
-                  [&](Index r0, Index r1, Index c0, Index c1) {
-                    tile(bs[0], cs[0], r0, r1, c0, c1);
-                  });
-    return;
-  }
-  const auto off = batch_offsets(bs);
-  if (off.back() == 0) return;
-  const MatrixF bp = pack_batch(bs, off);
-  MatrixF cp = pack_batch({cs.data(), cs.size()}, off);
-  run_tile_grid(pool, rows, off.back(),
-                [&](Index r0, Index r1, Index c0, Index c1) {
-                  tile(bp, cp, r0, r1, c0, c1);
-                });
-  unpack_batch(cp, off, cs);
-}
-
 void dense_batch_packed(const MatrixF& a, std::span<const MatrixF> bs,
                         std::span<MatrixF> cs, ThreadPool& pool) {
-  packed_batch_run(a.rows(), bs, cs, pool,
+  run_packed_batch(a.rows(), bs, cs, pool,
                    [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
                         Index c0, Index c1) {
                      dense_gemm_tile(a, b, c, r0, r1, c0, c1);
@@ -236,7 +216,7 @@ void dense_batch_loop(const MatrixF& a, std::span<const MatrixF> bs,
 void nm_batch_packed(const sparse::NMSparseMatrix& a,
                      std::span<const MatrixF> bs, std::span<MatrixF> cs,
                      ThreadPool& pool) {
-  packed_batch_run(a.rows(), bs, cs, pool,
+  run_packed_batch(a.rows(), bs, cs, pool,
                    [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
                         Index c0, Index c1) {
                      nm_gemm_tile(a, b, c, r0, r1, c0, c1);
@@ -252,6 +232,21 @@ void nm_batch_loop(const sparse::NMSparseMatrix& a,
 
 }  // namespace
 
+void run_packed_batch(Index rows, std::span<const MatrixF> bs,
+                      std::span<MatrixF> cs, ThreadPool& pool,
+                      const PackedTileFn& tile) {
+  if (bs.size() == 1) {  // already one contiguous RHS: no pack/unpack
+    run_tile_grid(pool, rows, bs[0], cs[0], tile);
+    return;
+  }
+  const auto off = batch_offsets(bs);
+  if (off.back() == 0) return;
+  const MatrixF bp = pack_batch(bs, off);
+  MatrixF cp = pack_batch({cs.data(), cs.size()}, off);
+  run_tile_grid(pool, rows, bp, cp, tile);
+  unpack_batch(cp, off, cs);
+}
+
 GemmDispatch::GemmDispatch() : impl_(new Impl) {
   impl_->dense["tiled-parallel"] = dense_tiled_parallel;
   impl_->dense["tiled-serial"] = dense_tiled_serial;
@@ -266,6 +261,12 @@ GemmDispatch::GemmDispatch() : impl_(new Impl) {
   impl_->nm_batch["batch-packed"] = nm_batch_packed;
   impl_->nm_batch["batch-loop"] = nm_batch_loop;
   impl_->default_nm_batch = "batch-packed";
+#ifdef TASD_HAVE_AVX2_KERNELS
+  // Runtime-gated SIMD backend: registered only when the executing
+  // CPU/OS can run it (and TASD_DISABLE_AVX2 is unset). Defaults stay
+  // scalar; best_*() prefers these names when present.
+  if (avx2_available()) register_avx2_kernels(*this);
+#endif
 }
 
 GemmDispatch& GemmDispatch::instance() {
@@ -378,6 +379,30 @@ std::string GemmDispatch::default_dense_batch() const {
 std::string GemmDispatch::default_nm_batch() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->default_nm_batch;
+}
+
+std::string GemmDispatch::best_dense() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->dense.contains("dense-avx2") ? "dense-avx2"
+                                             : impl_->default_dense;
+}
+
+std::string GemmDispatch::best_nm() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->nm.contains("nm-avx2") ? "nm-avx2" : impl_->default_nm;
+}
+
+std::string GemmDispatch::best_dense_batch() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->dense_batch.contains("dense-batch-avx2")
+             ? "dense-batch-avx2"
+             : impl_->default_dense_batch;
+}
+
+std::string GemmDispatch::best_nm_batch() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->nm_batch.contains("nm-batch-avx2") ? "nm-batch-avx2"
+                                                   : impl_->default_nm_batch;
 }
 
 DenseKernel GemmDispatch::dense(const std::string& name) const {

@@ -18,13 +18,22 @@
 //                     (output-row, batch-column) tiles over the pool
 //                     (default)
 //   "batch-loop"      per-item serial loop of the single-RHS core
+// AVX2/FMA kernels (registered only when tasd::avx2_available() — CPUID
+// says AVX2+FMA, the OS saves YMM state, TASD_DISABLE_AVX2 unset; see
+// runtime/kernels_avx2.hpp and docs/kernels.md):
+//   "dense-avx2"        "nm-avx2"
+//   "dense-batch-avx2"  "nm-batch-avx2"
 //
 // Every kernel partitions work by output row (batch kernels also by
 // batch column) with no shared float accumulation, so all of them
 // produce bit-identical results at every thread count. Batch kernels
 // additionally preserve each output element's MAC order exactly as the
-// single-RHS kernels execute it, so a batched call is bit-identical to
-// looping the single-RHS kernel over the batch.
+// single-RHS kernels of the same family execute it, so a batched call is
+// bit-identical to looping that single-RHS kernel over the batch. The
+// scalar (mul+add) and AVX2 (fused multiply-add) families round
+// differently and agree to float tolerance, not bitwise; best_dense() /
+// best_nm() / best_*_batch() name the fastest registered kernel of each
+// slot so callers can auto-select per artifact (CompileOptions "auto").
 #pragma once
 
 #include <functional>
@@ -101,6 +110,15 @@ class GemmDispatch {
   [[nodiscard]] std::string default_dense_batch() const;
   [[nodiscard]] std::string default_nm_batch() const;
 
+  /// Auto-selection policy: the fastest registered kernel for each slot —
+  /// the AVX2 kernel when runtime detection registered it, the (scalar)
+  /// registry default otherwise. CompileOptions' "auto" kernel names
+  /// resolve through these at rt::compile() time.
+  [[nodiscard]] std::string best_dense() const;
+  [[nodiscard]] std::string best_nm() const;
+  [[nodiscard]] std::string best_dense_batch() const;
+  [[nodiscard]] std::string best_nm_batch() const;
+
   /// Look up a kernel ("" = the default). Throws tasd::Error on unknown
   /// names.
   [[nodiscard]] DenseKernel dense(const std::string& name = {}) const;
@@ -158,5 +176,21 @@ MatrixF pack_batch(std::span<const MatrixF> items,
 /// Copy packed columns back out into the per-item matrices.
 void unpack_batch(const MatrixF& packed, const std::vector<Index>& off,
                   std::span<MatrixF> items);
+
+/// A packed-batch tile body: C += A*B restricted to output rows
+/// [r0, r1) and output columns [c0, c1) of the packed pair.
+using PackedTileFn = std::function<void(const MatrixF& b, MatrixF& c,
+                                        Index r0, Index r1, Index c0,
+                                        Index c1)>;
+
+/// Shared scheduling body of the packed batch kernels: single-item
+/// batches run the (row, batch-column) tile grid in place; larger
+/// batches pack B and C once, run the grid over the packed pair, and
+/// unpack. Exposed so SIMD backends reuse the exact grid — any tile core
+/// whose per-element MAC order is independent of the column range keeps
+/// the batched-equals-looped bit-exactness contract through this body.
+void run_packed_batch(Index rows, std::span<const MatrixF> bs,
+                      std::span<MatrixF> cs, ThreadPool& pool,
+                      const PackedTileFn& tile);
 
 }  // namespace tasd::rt

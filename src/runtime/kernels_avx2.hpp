@@ -1,0 +1,48 @@
+// AVX2/FMA vectorized GEMM kernels — the SIMD backend of GemmDispatch.
+//
+// Registered names (see docs/kernels.md for the author guide):
+//   dense       "dense-avx2"        row-parallel, 8-lane FMA over columns
+//   N:M         "nm-avx2"           compressed traversal, 8-lane FMA
+//   dense batch "dense-batch-avx2"  packed (row, batch-column) tile grid
+//   N:M batch   "nm-batch-avx2"     same grid over the compressed core
+//
+// Bit-exactness model: every output element accumulates along a single
+// k-ascending (dense) / stored-value-ascending (N:M) chain of *fused*
+// multiply-adds; sub-vector column tails run the same chain through
+// masked vector ops, one rounding per step. The per-element value is
+// therefore a pure function of the operands, independent of thread count,
+// tile shape, column offset, and batch packing: each AVX2 kernel is
+// bit-identical to its own serial run and a batched call is bit-identical
+// to looping its single-RHS sibling. The FMA chain rounds differently
+// from the scalar mul+add kernels ("tiled-parallel" etc.), so AVX2 and
+// scalar kernels form two internally-consistent families that agree to
+// float tolerance, not bitwise (the property tests pin both claims).
+//
+// This translation unit is compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt); GemmDispatch registers the kernels only when
+// tasd::avx2_available() says the executing CPU/OS can run them.
+#pragma once
+
+#include "runtime/gemm_dispatch.hpp"
+
+namespace tasd::rt {
+
+/// Dense C += A*B restricted to an (output-row, output-column) tile;
+/// AVX2/FMA analogue of dense_gemm_tile with the same any-disjoint-tiling
+/// bit-exactness property (within the AVX2 family).
+void dense_gemm_tile_avx2(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                          Index row_begin, Index row_end, Index col_begin,
+                          Index col_end);
+
+/// Compressed N:M C += A*B restricted to a tile; AVX2/FMA analogue of
+/// nm_gemm_tile.
+void nm_gemm_tile_avx2(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                       MatrixF& c, Index row_begin, Index row_end,
+                       Index col_begin, Index col_end);
+
+/// Register all four AVX2 kernels under their names. Called once by
+/// GemmDispatch's constructor when avx2_available(); never changes the
+/// registry defaults.
+void register_avx2_kernels(GemmDispatch& dispatch);
+
+}  // namespace tasd::rt

@@ -7,7 +7,7 @@
 #include "core/series_enum.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/metrics.hpp"
-#include "runtime/engine.hpp"
+#include "runtime/compiled_network.hpp"
 #include "tasder/tasda.hpp"
 
 namespace tasd {
@@ -49,13 +49,13 @@ TEST(FailureInjection, PerfModelRejectsForeignSeries) {
   EXPECT_THROW(accel::simulate_layer(stc, exec), Error);
 }
 
-TEST(FailureInjection, EngineRejectsMisalignedConfigList) {
+TEST(FailureInjection, CompileRejectsMisalignedConfigList) {
   dnn::NetworkWorkload net;
   net.name = "x";
   dnn::GemmWorkload l;
   l.m = l.k = l.n = 8;
   net.layers = {l, l};
-  EXPECT_THROW(rt::measure_workload(net, {std::nullopt}, {}), Error);
+  EXPECT_THROW(rt::compile(net, {std::nullopt}, {}), Error);
 }
 
 TEST(FailureInjection, SeriesEnumRejectsZeroTermBudget) {

@@ -1,0 +1,22 @@
+// Shared helper for the kernel property/batch test suites.
+#pragma once
+
+#include <string>
+
+namespace tasd::rt::testing {
+
+/// The single-RHS kernel a batch kernel's output must match bitwise: a
+/// SIMD batch kernel pairs with its same-family single-RHS sibling,
+/// every scalar batch kernel with the scalar registry default (empty
+/// name). Batched == looped holds *within* a rounding family; across
+/// families results agree only to float tolerance (FMA vs mul+add —
+/// docs/kernels.md). Extend here when a new family (e.g. AVX-512)
+/// registers batch kernels.
+inline std::string paired_single_kernel(const std::string& batch_kernel,
+                                        bool dense) {
+  if (batch_kernel.find("avx2") != std::string::npos)
+    return dense ? "dense-avx2" : "nm-avx2";
+  return {};
+}
+
+}  // namespace tasd::rt::testing

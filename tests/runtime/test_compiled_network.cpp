@@ -79,7 +79,10 @@ TEST(CompiledNetwork, ConfigListMustAlign) {
 TEST(CompiledNetwork, RunMatchesDirectKernelPathsAtEveryThreadCount) {
   // Acceptance invariant: run()/run_batch() are bit-identical to the
   // TasdSeriesGemm::multiply / multiply_batch (and dense_gemm) paths at
-  // every thread count.
+  // every thread count. The direct paths execute under the artifact's
+  // resolved kernel selection ("auto" may bind the AVX2 family, whose
+  // bits differ from the scalar registry defaults) but on the default
+  // pool — the kernel name fixes the bits, the pool never does.
   const auto net = tiny_net();
   const auto cfgs = mixed_configs();
 
@@ -90,8 +93,11 @@ TEST(CompiledNetwork, RunMatchesDirectKernelPathsAtEveryThreadCount) {
   const MatrixF w0 = dnn::materialize_weight(net.layers[0]);
   const MatrixF w1 = dnn::materialize_weight(net.layers[1]);
   const TasdSeriesGemm series(plan_cache().get_or_build(w0, *cfgs[0]));
-  const MatrixF want0 = series.multiply(b0);
-  const MatrixF want1 = dense_gemm(w1, b1);
+  ExecPolicy resolved;  // what "auto" resolves to, on the default pool
+  resolved.dense_kernel = GemmDispatch::instance().best_dense();
+  resolved.nm_kernel = GemmDispatch::instance().best_nm();
+  const MatrixF want0 = series.multiply(b0, resolved);
+  const MatrixF want1 = dense_gemm(w1, b1, resolved);
 
   for (const std::size_t threads : {0u, 1u, 2u, 5u, 8u}) {
     CompileOptions opt;
@@ -244,7 +250,7 @@ TEST(CompiledNetwork, CompileFromExplicitBindings) {
   const MatrixF b = random_dense(32, 4, Dist::kNormalStd1, rng);
   const TasdSeriesGemm series(
       plan_cache().get_or_build(w0, TasdConfig::parse("2:4")));
-  EXPECT_EQ(engine.run(0, b), series.multiply(b));
+  EXPECT_EQ(engine.run(0, b), series.multiply(b, engine.policy()));
 }
 
 TEST(CompiledNetwork, CompileValidatesOptions) {
@@ -266,16 +272,24 @@ TEST(CompiledNetwork, CompileRejectsUnknownKernelNamesEagerly) {
     opt.*field = "no-such-kernel";
     EXPECT_THROW(compile(tiny_net(), mixed_configs(), opt), Error);
   }
-  // Known non-default names still compile and execute.
+  // Known non-default names still compile and execute. Within one
+  // rounding family, kernel selection only changes scheduling: the
+  // serial scalar kernels produce the same bits as the parallel scalar
+  // kernels (AVX2 kernels are a different family — docs/kernels.md).
   CompileOptions serial;
   serial.nm_kernel = "serial";
   serial.dense_kernel = "tiled-serial";
   const auto engine = compile(tiny_net(), mixed_configs(), serial);
+  CompileOptions scalar;
+  scalar.nm_kernel = "row-parallel";
+  scalar.dense_kernel = "tiled-parallel";
   Rng rng(430);
   const MatrixF b =
       random_dense(tiny_net().layers[0].k, 3, Dist::kNormalStd1, rng);
-  EXPECT_EQ(engine.run(0, b), compile(tiny_net(), mixed_configs(), {}).run(0, b))
-      << "kernel selection must not change results, only scheduling";
+  EXPECT_EQ(engine.run(0, b),
+            compile(tiny_net(), mixed_configs(), scalar).run(0, b))
+      << "within a kernel family, selection must not change results, "
+         "only scheduling";
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "common/rng.hpp"
 #include "core/decompose.hpp"
+#include "kernel_families.hpp"
 #include "runtime/dense_gemm.hpp"
 #include "runtime/nm_gemm.hpp"
 #include "tensor/gemm_ref.hpp"
@@ -58,6 +59,119 @@ INSTANTIATE_TEST_SUITE_P(
                       KernelCase{"2:8+1:8", 0.2, 8, 40, 12},
                       KernelCase{"2:4+2:8", 0.7, 16, 30, 5},  // ragged K
                       KernelCase{"1:4", 1.0, 4, 7, 3}));      // tiny ragged
+
+// --- Registry-wide property sweep: every registered kernel name (scalar
+// and AVX2 families, single-RHS and batch) × threads {0, 1, 2, 5, 8}.
+// Each kernel must (a) agree with the tensor/gemm_ref oracle to float
+// tolerance and (b) be bit-identical to its own 1-thread run; each batch
+// kernel must be bit-identical to looping its family's single-RHS kernel
+// over a ragged batch mix.
+
+const std::size_t kSweepThreads[] = {0, 1, 2, 5, 8};
+
+using testing::paired_single_kernel;
+
+TEST(KernelRegistrySweep, EveryDenseKernelMatchesOracleAndItsSerialSelf) {
+  Rng rng(6001);
+  // Odd shape: m=1 row chunk, k not a multiple of the unroll, n crossing
+  // the 32/8-lane vector blocks with a scalar remainder.
+  const MatrixF a = random_dense(13, 30, Dist::kNormalStd1, rng);
+  const MatrixF b = random_dense(30, 43, Dist::kNormalStd1, rng);
+  const MatrixF oracle = gemm_ref(a, b);
+  for (const auto& kernel : GemmDispatch::instance().dense_kernels()) {
+    ExecPolicy serial_policy;
+    serial_policy.dense_kernel = kernel;
+    ThreadPool one(1);
+    serial_policy.pool = &one;
+    const MatrixF reference = dense_gemm(a, b, serial_policy);
+    EXPECT_TRUE(allclose(reference, oracle, 1e-4, 1e-4)) << kernel;
+    for (std::size_t threads : kSweepThreads) {
+      ThreadPool pool(threads);
+      ExecPolicy policy;
+      policy.pool = &pool;
+      policy.dense_kernel = kernel;
+      EXPECT_TRUE(dense_gemm(a, b, policy) == reference)
+          << kernel << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KernelRegistrySweep, EveryNmKernelMatchesOracleAndItsSerialSelf) {
+  Rng rng(6002);
+  const MatrixF dense =
+      random_unstructured(17, 40, 0.4, Dist::kNormalStd1, rng);
+  const auto d = decompose(dense, TasdConfig::parse("2:4"));
+  const sparse::NMSparseMatrix a = d.terms[0].compressed();
+  const MatrixF b = random_dense(40, 37, Dist::kNormalStd1, rng);
+  const MatrixF oracle = gemm_ref(d.terms[0].dense, b);
+  for (const auto& kernel : GemmDispatch::instance().nm_kernels()) {
+    ExecPolicy serial_policy;
+    serial_policy.nm_kernel = kernel;
+    ThreadPool one(1);
+    serial_policy.pool = &one;
+    const MatrixF reference = nm_gemm(a, b, serial_policy);
+    EXPECT_TRUE(allclose(reference, oracle, 1e-4, 1e-4)) << kernel;
+    for (std::size_t threads : kSweepThreads) {
+      ThreadPool pool(threads);
+      ExecPolicy policy;
+      policy.pool = &pool;
+      policy.nm_kernel = kernel;
+      EXPECT_TRUE(nm_gemm(a, b, policy) == reference)
+          << kernel << " threads=" << threads;
+    }
+  }
+}
+
+TEST(KernelRegistrySweep, EveryBatchKernelMatchesItsFamilyOnRaggedMixes) {
+  Rng rng(6003);
+  const MatrixF aw = random_dense(21, 36, Dist::kNormalStd1, rng);
+  const MatrixF nm_dense =
+      random_unstructured(21, 36, 0.4, Dist::kNormalStd1, rng);
+  const auto d = decompose(nm_dense, TasdConfig::parse("2:4"));
+  const sparse::NMSparseMatrix an = d.terms[0].compressed();
+  // Ragged mixes: GEMV-style width-1 queries, a zero-column item, and
+  // widths straddling the batch column grain.
+  const std::vector<std::vector<Index>> mixes = {
+      {1, 1, 1, 1}, {5, 0, 2, 9, 1}, {130, 3, 31}};
+  for (const auto& widths : mixes) {
+    std::vector<MatrixF> bs;
+    for (Index w : widths)
+      bs.push_back(random_dense(36, w, Dist::kNormalStd1, rng));
+    for (const auto& kernel :
+         GemmDispatch::instance().dense_batch_kernels()) {
+      ExecPolicy single;
+      single.dense_kernel = paired_single_kernel(kernel, true);
+      std::vector<MatrixF> want;
+      for (const auto& b : bs) want.push_back(dense_gemm(aw, b, single));
+      for (std::size_t threads : kSweepThreads) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.dense_batch_kernel = kernel;
+        const auto cs = dense_gemm_batch(aw, bs, policy);
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          EXPECT_TRUE(cs[i] == want[i])
+              << kernel << " threads=" << threads << " item=" << i;
+      }
+    }
+    for (const auto& kernel : GemmDispatch::instance().nm_batch_kernels()) {
+      ExecPolicy single;
+      single.nm_kernel = paired_single_kernel(kernel, false);
+      std::vector<MatrixF> want;
+      for (const auto& b : bs) want.push_back(nm_gemm(an, b, single));
+      for (std::size_t threads : kSweepThreads) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.nm_batch_kernel = kernel;
+        const auto cs = nm_gemm_batch(an, bs, policy);
+        for (std::size_t i = 0; i < cs.size(); ++i)
+          EXPECT_TRUE(cs[i] == want[i])
+              << kernel << " threads=" << threads << " item=" << i;
+      }
+    }
+  }
+}
 
 TEST(KernelEdgeCases, OneByOne) {
   MatrixF a(1, 1, {3.0F});

@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/decompose.hpp"
 #include "core/plan_cache.hpp"
+#include "kernel_families.hpp"
 #include "runtime/dense_gemm.hpp"
 #include "runtime/gemm_dispatch.hpp"
 #include "runtime/nm_gemm.hpp"
@@ -22,6 +23,8 @@ namespace tasd::rt {
 namespace {
 
 const std::size_t kThreadCounts[] = {0, 1, 2, 5, 8};
+
+using testing::paired_single_kernel;
 
 // Ragged batches: singleton, GEMV-style uniform width 1, ragged widths
 // (including a zero-column item), and a batch larger than the tile grid's
@@ -50,10 +53,12 @@ TEST(MultiplyBatch, DenseBatchBitIdenticalToSingleLoop) {
   const MatrixF a = random_dense(33, 50, Dist::kNormalStd1, rng);
   for (const auto& widths : batch_shapes()) {
     const auto bs = make_batch(a.cols(), widths, rng);
-    std::vector<MatrixF> expected;
-    for (const auto& b : bs) expected.push_back(dense_gemm(a, b));
     for (const std::string& kernel :
          GemmDispatch::instance().dense_batch_kernels()) {
+      ExecPolicy single;
+      single.dense_kernel = paired_single_kernel(kernel, true);
+      std::vector<MatrixF> expected;
+      for (const auto& b : bs) expected.push_back(dense_gemm(a, b, single));
       for (std::size_t threads : kThreadCounts) {
         ThreadPool pool(threads);
         ExecPolicy policy;
@@ -77,10 +82,12 @@ TEST(MultiplyBatch, NmBatchBitIdenticalToSingleLoop) {
   const sparse::NMSparseMatrix a = d.terms[0].compressed();
   for (const auto& widths : batch_shapes()) {
     const auto bs = make_batch(a.cols(), widths, rng);
-    std::vector<MatrixF> expected;
-    for (const auto& b : bs) expected.push_back(nm_gemm(a, b));
     for (const std::string& kernel :
          GemmDispatch::instance().nm_batch_kernels()) {
+      ExecPolicy single;
+      single.nm_kernel = paired_single_kernel(kernel, false);
+      std::vector<MatrixF> expected;
+      for (const auto& b : bs) expected.push_back(nm_gemm(a, b, single));
       for (std::size_t threads : kThreadCounts) {
         ThreadPool pool(threads);
         ExecPolicy policy;
@@ -104,10 +111,12 @@ TEST(MultiplyBatch, SeriesBatchBitIdenticalToSingleLoop) {
       plan_cache().get_or_build(dense, TasdConfig::parse("4:8+1:8")));
   for (const auto& widths : batch_shapes()) {
     const auto bs = make_batch(series.cols(), widths, rng);
-    std::vector<MatrixF> expected;
-    for (const auto& b : bs) expected.push_back(series.multiply(b));
     for (const std::string& kernel :
          GemmDispatch::instance().nm_batch_kernels()) {
+      ExecPolicy single;
+      single.nm_kernel = paired_single_kernel(kernel, false);
+      std::vector<MatrixF> expected;
+      for (const auto& b : bs) expected.push_back(series.multiply(b, single));
       for (std::size_t threads : kThreadCounts) {
         ThreadPool pool(threads);
         ExecPolicy policy;

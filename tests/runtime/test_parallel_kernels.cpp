@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "common/cpu_features.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -36,71 +37,87 @@ const Shape kShapes[] = {
 const std::size_t kThreadCounts[] = {0, 1, 2, 3, 5, 8};
 
 TEST(ParallelKernels, DenseBitIdenticalAcrossThreadCounts) {
-  for (const auto& s : kShapes) {
-    Rng rng(100 + s.m + s.k + s.n);
-    const MatrixF a = random_dense(s.m, s.k, Dist::kNormalStd1, rng);
-    const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
+  // Every registered dense kernel (scalar and SIMD alike) must match its
+  // own 1-thread run bitwise at every thread count.
+  for (const std::string& kernel : GemmDispatch::instance().dense_kernels()) {
+    for (const auto& s : kShapes) {
+      Rng rng(100 + s.m + s.k + s.n);
+      const MatrixF a = random_dense(s.m, s.k, Dist::kNormalStd1, rng);
+      const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
 
-    ThreadPool serial(1);
-    ExecPolicy serial_policy;
-    serial_policy.pool = &serial;
-    const MatrixF reference = dense_gemm(a, b, serial_policy);
+      ThreadPool serial(1);
+      ExecPolicy serial_policy;
+      serial_policy.pool = &serial;
+      serial_policy.dense_kernel = kernel;
+      const MatrixF reference = dense_gemm(a, b, serial_policy);
 
-    for (std::size_t threads : kThreadCounts) {
-      ThreadPool pool(threads);
-      ExecPolicy policy;
-      policy.pool = &pool;
-      const MatrixF c = dense_gemm(a, b, policy);
-      EXPECT_TRUE(c == reference)
-          << s.m << "x" << s.k << "x" << s.n << " threads=" << threads;
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.dense_kernel = kernel;
+        const MatrixF c = dense_gemm(a, b, policy);
+        EXPECT_TRUE(c == reference) << kernel << " " << s.m << "x" << s.k
+                                    << "x" << s.n << " threads=" << threads;
+      }
     }
   }
 }
 
 TEST(ParallelKernels, NmBitIdenticalAcrossThreadCounts) {
-  for (const auto& s : kShapes) {
-    Rng rng(200 + s.m + s.k + s.n);
-    const MatrixF dense =
-        random_unstructured(s.m, s.k, 0.4, Dist::kNormalStd1, rng);
-    const auto d = decompose(dense, TasdConfig::parse("2:4"));
-    const sparse::NMSparseMatrix a = d.terms[0].compressed();
-    const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
+  for (const std::string& kernel : GemmDispatch::instance().nm_kernels()) {
+    for (const auto& s : kShapes) {
+      Rng rng(200 + s.m + s.k + s.n);
+      const MatrixF dense =
+          random_unstructured(s.m, s.k, 0.4, Dist::kNormalStd1, rng);
+      const auto d = decompose(dense, TasdConfig::parse("2:4"));
+      const sparse::NMSparseMatrix a = d.terms[0].compressed();
+      const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
 
-    ThreadPool serial(1);
-    ExecPolicy serial_policy;
-    serial_policy.pool = &serial;
-    const MatrixF reference = nm_gemm(a, b, serial_policy);
+      ThreadPool serial(1);
+      ExecPolicy serial_policy;
+      serial_policy.pool = &serial;
+      serial_policy.nm_kernel = kernel;
+      const MatrixF reference = nm_gemm(a, b, serial_policy);
 
-    for (std::size_t threads : kThreadCounts) {
-      ThreadPool pool(threads);
-      ExecPolicy policy;
-      policy.pool = &pool;
-      EXPECT_TRUE(nm_gemm(a, b, policy) == reference)
-          << s.m << "x" << s.k << "x" << s.n << " threads=" << threads;
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.nm_kernel = kernel;
+        EXPECT_TRUE(nm_gemm(a, b, policy) == reference)
+            << kernel << " " << s.m << "x" << s.k << "x" << s.n
+            << " threads=" << threads;
+      }
     }
   }
 }
 
 TEST(ParallelKernels, TasdSeriesBitIdenticalAcrossThreadCounts) {
-  for (const auto& s : kShapes) {
-    Rng rng(300 + s.m + s.k + s.n);
-    const MatrixF dense =
-        random_unstructured(s.m, s.k, 0.3, Dist::kNormalStd1, rng);
-    const TasdSeriesGemm series(
-        decompose(dense, TasdConfig::parse("4:8+1:8")));
-    const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
+  for (const std::string& kernel : GemmDispatch::instance().nm_kernels()) {
+    for (const auto& s : kShapes) {
+      Rng rng(300 + s.m + s.k + s.n);
+      const MatrixF dense =
+          random_unstructured(s.m, s.k, 0.3, Dist::kNormalStd1, rng);
+      const TasdSeriesGemm series(
+          decompose(dense, TasdConfig::parse("4:8+1:8")));
+      const MatrixF b = random_dense(s.k, s.n, Dist::kNormalStd1, rng);
 
-    ThreadPool serial(1);
-    ExecPolicy serial_policy;
-    serial_policy.pool = &serial;
-    const MatrixF reference = series.multiply(b, serial_policy);
+      ThreadPool serial(1);
+      ExecPolicy serial_policy;
+      serial_policy.pool = &serial;
+      serial_policy.nm_kernel = kernel;
+      const MatrixF reference = series.multiply(b, serial_policy);
 
-    for (std::size_t threads : kThreadCounts) {
-      ThreadPool pool(threads);
-      ExecPolicy policy;
-      policy.pool = &pool;
-      EXPECT_TRUE(series.multiply(b, policy) == reference)
-          << s.m << "x" << s.k << "x" << s.n << " threads=" << threads;
+      for (std::size_t threads : kThreadCounts) {
+        ThreadPool pool(threads);
+        ExecPolicy policy;
+        policy.pool = &pool;
+        policy.nm_kernel = kernel;
+        EXPECT_TRUE(series.multiply(b, policy) == reference)
+            << kernel << " " << s.m << "x" << s.k << "x" << s.n
+            << " threads=" << threads;
+      }
     }
   }
 }
@@ -145,6 +162,46 @@ TEST(GemmDispatchRegistry, ListsBuiltinsAndDefaults) {
   const auto nm = dispatch.nm_kernels();
   EXPECT_NE(std::find(nm.begin(), nm.end(), "row-parallel"), nm.end());
   EXPECT_NE(std::find(nm.begin(), nm.end(), "serial"), nm.end());
+  EXPECT_EQ(dispatch.default_dense(), "tiled-parallel");
+  EXPECT_EQ(dispatch.default_nm(), "row-parallel");
+}
+
+TEST(GemmDispatchRegistry, Avx2KernelsFollowRuntimeDetection) {
+  // The AVX2 family is registered exactly when the executing CPU/OS can
+  // run it (and TASD_DISABLE_AVX2 is unset); best_*() prefers it when
+  // present and falls back to the scalar defaults otherwise. The
+  // TASD_DISABLE_AVX2=1 CI leg exercises the fallback branch on AVX2
+  // hardware.
+  auto& dispatch = GemmDispatch::instance();
+  const auto dense = dispatch.dense_kernels();
+  const auto nm = dispatch.nm_kernels();
+  const auto dense_batch = dispatch.dense_batch_kernels();
+  const auto nm_batch = dispatch.nm_batch_kernels();
+  const auto has = [&](const std::vector<std::string>& names,
+                       const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  if (avx2_available()) {
+    EXPECT_TRUE(has(dense, "dense-avx2"));
+    EXPECT_TRUE(has(nm, "nm-avx2"));
+    EXPECT_TRUE(has(dense_batch, "dense-batch-avx2"));
+    EXPECT_TRUE(has(nm_batch, "nm-batch-avx2"));
+    EXPECT_EQ(dispatch.best_dense(), "dense-avx2");
+    EXPECT_EQ(dispatch.best_nm(), "nm-avx2");
+    EXPECT_EQ(dispatch.best_dense_batch(), "dense-batch-avx2");
+    EXPECT_EQ(dispatch.best_nm_batch(), "nm-batch-avx2");
+  } else {
+    EXPECT_FALSE(has(dense, "dense-avx2"));
+    EXPECT_FALSE(has(nm, "nm-avx2"));
+    EXPECT_FALSE(has(dense_batch, "dense-batch-avx2"));
+    EXPECT_FALSE(has(nm_batch, "nm-batch-avx2"));
+    EXPECT_EQ(dispatch.best_dense(), dispatch.default_dense());
+    EXPECT_EQ(dispatch.best_nm(), dispatch.default_nm());
+    EXPECT_EQ(dispatch.best_dense_batch(), dispatch.default_dense_batch());
+    EXPECT_EQ(dispatch.best_nm_batch(), dispatch.default_nm_batch());
+  }
+  // Defaults stay scalar either way: opting into SIMD is a per-artifact
+  // (CompileOptions "auto") or per-call (ExecPolicy) decision.
   EXPECT_EQ(dispatch.default_dense(), "tiled-parallel");
   EXPECT_EQ(dispatch.default_nm(), "row-parallel");
 }
