@@ -4,6 +4,12 @@
 // includes the failing expression and source location. TASD_CHECK is
 // compiled in every build type (these are API-contract checks, not
 // debug-only asserts).
+//
+// Every Error carries a Code so layered components (notably the serving
+// engine) can map a failure to a per-request status programmatically
+// instead of parsing what() strings. The one-argument constructor keeps
+// every existing `throw Error(msg)` / TASD_CHECK call site source- and
+// semantics-compatible: contract violations are kInvalidArgument.
 #pragma once
 
 #include <sstream>
@@ -15,8 +21,39 @@ namespace tasd {
 /// Exception type thrown on any TASD API contract violation.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  /// Failure taxonomy, in the spirit of canonical RPC status codes.
+  enum class Code {
+    kInvalidArgument,    ///< caller broke an API contract (bad shape, NaN…)
+    kFailedPrecondition, ///< object state does not permit the call
+    kDeadlineExceeded,   ///< work expired before (or while) running
+    kResourceExhausted,  ///< queue full, allocation failure, over budget
+    kUnavailable,        ///< component shut down / draining
+    kInternal,           ///< invariant broken inside the library
+  };
+
+  explicit Error(const std::string& what, Code code = Code::kInvalidArgument)
+      : std::runtime_error(what), code_(code) {}
+  Error(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] Code code() const { return code_; }
+
+ private:
+  Code code_;
 };
+
+/// Stable lowercase name of a code (for logs, JSON, and test messages).
+inline const char* error_code_name(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument: return "invalid_argument";
+    case Error::Code::kFailedPrecondition: return "failed_precondition";
+    case Error::Code::kDeadlineExceeded: return "deadline_exceeded";
+    case Error::Code::kResourceExhausted: return "resource_exhausted";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kInternal: return "internal";
+  }
+  return "unknown";
+}
 
 namespace detail {
 
@@ -25,7 +62,7 @@ namespace detail {
   std::ostringstream os;
   os << "TASD_CHECK failed: (" << expr << ") at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), Error::Code::kInvalidArgument);
 }
 
 }  // namespace detail

@@ -1,0 +1,159 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tasd::fault {
+
+namespace {
+
+struct Armed {
+  int token = 0;
+  Spec spec;
+  std::mt19937_64 engine;
+  std::size_t hits = 0;
+  std::size_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Armed> armed;
+  int next_token = 1;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// Fast-path gate: number of armed specs. inject() returns after one
+// relaxed load when it is zero, so instrumented hot paths stay hot.
+std::atomic<int> g_armed_count{0};
+
+bool matches(const Spec& spec, std::string_view site,
+             std::string_view detail) {
+  if (!spec.site.empty() && site.find(spec.site) == std::string_view::npos)
+    return false;
+  if (!spec.detail.empty() &&
+      detail.find(spec.detail) == std::string_view::npos)
+    return false;
+  return true;
+}
+
+}  // namespace
+
+int arm(Spec spec) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  Armed a;
+  a.token = r.next_token++;
+  a.engine.seed(spec.seed);
+  a.spec = std::move(spec);
+  r.armed.push_back(std::move(a));
+  g_armed_count.store(static_cast<int>(r.armed.size()),
+                      std::memory_order_relaxed);
+  return r.armed.back().token;
+}
+
+void disarm(int token) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (std::size_t i = 0; i < r.armed.size(); ++i) {
+    if (r.armed[i].token == token) {
+      r.armed.erase(r.armed.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  g_armed_count.store(static_cast<int>(r.armed.size()),
+                      std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.armed.clear();
+  g_armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::size_t hit_count(int token) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (const auto& a : r.armed)
+    if (a.token == token) return a.hits;
+  return 0;
+}
+
+std::size_t fire_count(int token) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (const auto& a : r.armed)
+    if (a.token == token) return a.fires;
+  return 0;
+}
+
+bool any_armed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+void inject(std::string_view site, std::string_view detail) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) return;
+
+  // Decide under the lock, act after releasing it: a kDelay fire must
+  // not stall other threads' inject() calls, and a throw must not leave
+  // the registry locked.
+  int delay_us = 0;
+  bool do_throw = false;
+  bool do_bad_alloc = false;
+  std::string message;
+  {
+    Registry& r = registry();
+    std::lock_guard lock(r.mutex);
+    for (auto& a : r.armed) {
+      if (!matches(a.spec, site, detail)) continue;
+      ++a.hits;
+      if (a.fires >= a.spec.max_fires) continue;
+      if (a.spec.probability < 1.0) {
+        std::bernoulli_distribution fire(a.spec.probability);
+        if (!fire(a.engine)) continue;
+      }
+      ++a.fires;
+      switch (a.spec.kind) {
+        case Kind::kDelay:
+          delay_us += a.spec.delay_us;
+          break;
+        case Kind::kThrow:
+          if (!do_throw && !do_bad_alloc) {
+            do_throw = true;
+            message = a.spec.message;
+          }
+          break;
+        case Kind::kBadAlloc:
+          if (!do_throw && !do_bad_alloc) do_bad_alloc = true;
+          break;
+      }
+    }
+  }
+
+  if (delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  if (do_bad_alloc) throw std::bad_alloc();
+  if (do_throw) {
+    std::string what = message;
+    what += " [site=";
+    what.append(site);
+    if (!detail.empty()) {
+      what += ", detail=";
+      what.append(detail);
+    }
+    what += ']';
+    throw Error(Error::Code::kInternal, what);
+  }
+}
+
+}  // namespace tasd::fault

@@ -1,0 +1,102 @@
+// Deterministic fault injection for robustness testing.
+//
+// Production code marks interesting failure sites with fault::inject()
+// calls; tests (and only tests — nothing in the library arms faults on
+// its own) arm Specs that make matching sites throw, report allocation
+// failure, or stall, on a seeded deterministic schedule. The hooks are
+// compiled in every build type so the exact binary that serves traffic
+// is the one whose failure paths were exercised; when nothing is armed,
+// inject() is a single relaxed atomic load.
+//
+// Typical test use:
+//
+//   fault::Spec spec;
+//   spec.site = "rt.run_batch";        // substring match on the site name
+//   spec.detail = "conv1";            // substring match on the detail
+//   spec.kind = fault::Kind::kThrow;  // or kBadAlloc / kDelay
+//   spec.max_fires = 1;               // fail the first matching hit only
+//   fault::ScopedFault f(spec);       // disarms on scope exit
+//   ... drive the system; assert it degraded gracefully ...
+//   EXPECT_EQ(f.fires(), 1u);
+//
+// Determinism: each armed spec owns a private mt19937_64 stream seeded
+// from spec.seed; the k-th matching hit of a spec fires iff the k-th
+// draw of that stream lands under `probability`. For a single-threaded
+// caller the fire pattern is a pure function of (seed, probability,
+// hit order). Under concurrency the set of *sites* that hit in each
+// position may vary with scheduling, but the schedule itself — and
+// therefore counts like max_fires — stays exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace tasd::fault {
+
+/// What a firing fault does at the injection site.
+enum class Kind {
+  kThrow,     ///< throw tasd::Error{kInternal} (a "throwing layer")
+  kBadAlloc,  ///< throw std::bad_alloc (allocation failure)
+  kDelay,     ///< sleep delay_us (a slow kernel), then continue
+};
+
+/// One armed fault: which sites it matches and how/when it fires.
+struct Spec {
+  /// Substring matched against the injection point's site name; empty
+  /// matches every site.
+  std::string site;
+  /// Substring matched against the point's detail (e.g. a layer name);
+  /// empty matches any detail.
+  std::string detail;
+  Kind kind = Kind::kThrow;
+  /// Per-hit chance of firing, drawn from this spec's seeded stream.
+  double probability = 1.0;
+  std::uint64_t seed = 1;
+  /// Sleep for kDelay fires, in microseconds.
+  int delay_us = 1000;
+  /// Stop firing (but keep counting hits) after this many fires.
+  std::size_t max_fires = std::numeric_limits<std::size_t>::max();
+  /// Included in the thrown error's message.
+  std::string message = "injected fault";
+};
+
+/// Arm a fault; returns a token for disarm()/fire_count(). Faults stack:
+/// every armed spec is consulted at every hit, in arming order.
+int arm(Spec spec);
+
+/// Disarm one fault (no-op for unknown tokens) / every fault.
+void disarm(int token);
+void disarm_all();
+
+/// Hits and fires recorded for an armed fault (0 for unknown tokens).
+std::size_t hit_count(int token);
+std::size_t fire_count(int token);
+
+/// True when at least one fault is armed (the slow path is reachable).
+bool any_armed();
+
+/// The injection point. Call from code under test at named failure
+/// sites; near-zero cost (one relaxed atomic load) when nothing is armed.
+/// May throw tasd::Error or std::bad_alloc, or sleep, per armed specs.
+void inject(std::string_view site, std::string_view detail = {});
+
+/// RAII arming for tests: disarms on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(Spec spec) : token_(arm(std::move(spec))) {}
+  ~ScopedFault() { disarm(token_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  [[nodiscard]] int token() const { return token_; }
+  [[nodiscard]] std::size_t hits() const { return hit_count(token_); }
+  [[nodiscard]] std::size_t fires() const { return fire_count(token_); }
+
+ private:
+  int token_;
+};
+
+}  // namespace tasd::fault

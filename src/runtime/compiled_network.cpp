@@ -1,9 +1,11 @@
 #include "runtime/compiled_network.hpp"
 
+#include <cmath>
 #include <numeric>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "runtime/dense_gemm.hpp"
@@ -75,13 +77,36 @@ ExecPolicy CompiledNetwork::policy() const {
   return p;
 }
 
+void CompiledNetwork::validate_input(std::size_t layer_index,
+                                     const MatrixF& input,
+                                     std::size_t item) const {
+  const BoundLayer& l = layer(layer_index);
+  const bool in_batch = item != static_cast<std::size_t>(-1);
+  if (input.rows() != l.k) {
+    std::ostringstream os;
+    os << "layer '" << l.name << "' expects a " << l.k
+       << "-row right-hand side, got " << input.rows() << "x" << input.cols();
+    if (in_batch) os << " at item " << item;
+    throw Error(Error::Code::kInvalidArgument, os.str());
+  }
+  if (!opt_.validate_inputs) return;
+  const auto flat = input.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    if (std::isfinite(flat[i])) continue;
+    std::ostringstream os;
+    os << "layer '" << l.name << "' input contains a non-finite value ("
+       << flat[i] << ") at (" << i / input.cols() << "," << i % input.cols()
+       << ")";
+    if (in_batch) os << " in batch item " << item;
+    throw Error(Error::Code::kInvalidArgument, os.str());
+  }
+}
+
 MatrixF CompiledNetwork::run(std::size_t layer_index,
                              const MatrixF& input) const {
   const BoundLayer& l = layer(layer_index);
-  TASD_CHECK_MSG(input.rows() == l.k,
-                 "layer '" << l.name << "' expects a " << l.k
-                           << "-row right-hand side, got " << input.rows()
-                           << "x" << input.cols());
+  validate_input(layer_index, input);
+  fault::inject("rt.run", l.name);
   const ExecPolicy p = policy();
   return l.series ? l.series->multiply(input, p)
                   : dense_gemm(l.weight, input, p);
@@ -91,11 +116,8 @@ std::vector<MatrixF> CompiledNetwork::run_batch(
     std::size_t layer_index, std::span<const MatrixF> inputs) const {
   const BoundLayer& l = layer(layer_index);
   for (std::size_t i = 0; i < inputs.size(); ++i)
-    TASD_CHECK_MSG(inputs[i].rows() == l.k,
-                   "layer '" << l.name << "' expects " << l.k
-                             << "-row right-hand sides, got "
-                             << inputs[i].rows() << "x" << inputs[i].cols()
-                             << " at item " << i);
+    validate_input(layer_index, inputs[i], i);
+  fault::inject("rt.run_batch", l.name);
   const ExecPolicy p = policy();
   return l.series ? l.series->multiply_batch(inputs, p)
                   : dense_gemm_batch(l.weight, inputs, p);

@@ -136,6 +136,11 @@ struct CompileOptions {
   std::string nm_kernel = "auto";
   std::string dense_batch_kernel = "auto";
   std::string nm_batch_kernel = "auto";
+  /// Opt-in activation guard: run()/run_batch() reject NaN/Inf inputs
+  /// with a tasd::Error (kInvalidArgument) naming the offending batch
+  /// item, instead of silently producing garbage. Costs one pass over
+  /// each input; off by default for trusted callers.
+  bool validate_inputs = false;
 };
 
 /// An immutable executable artifact: per-layer bound kernels (dense or
@@ -173,6 +178,16 @@ class CompiledNetwork {
   /// Compressed plan footprint in bytes across configured layers — the
   /// per-artifact memory a serving process holds resident.
   [[nodiscard]] Index plan_bytes() const;
+
+  /// Check one right-hand side against layer(layer_index)'s contract:
+  /// the row count always, and value finiteness when the artifact was
+  /// compiled with validate_inputs. Throws tasd::Error(kInvalidArgument)
+  /// naming the layer (and `item`, when not npos — the batch position
+  /// the serving path reports). run()/run_batch() apply the same checks;
+  /// this entry point lets a batching front-end validate per request so
+  /// one poisoned input fails that request instead of its whole batch.
+  void validate_input(std::size_t layer_index, const MatrixF& input,
+                      std::size_t item = static_cast<std::size_t>(-1)) const;
 
   /// Execute one layer on a dense right-hand side through its bound
   /// kernel: the TASD series (TasdSeriesGemm::multiply) when configured,

@@ -1,0 +1,365 @@
+#include "runtime/serving_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace tasd::rt {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Map an Error's taxonomy code to the request's terminal status.
+RequestStatus status_from_code(Error::Code code) {
+  switch (code) {
+    case Error::Code::kInvalidArgument:
+    case Error::Code::kFailedPrecondition:
+      return RequestStatus::kInvalid;
+    case Error::Code::kDeadlineExceeded:
+      return RequestStatus::kDeadline;
+    case Error::Code::kResourceExhausted:
+      return RequestStatus::kShed;
+    case Error::Code::kUnavailable:
+    case Error::Code::kInternal:
+      return RequestStatus::kFailed;
+  }
+  return RequestStatus::kFailed;
+}
+
+/// q-th percentile (0 <= q <= 1) of an unsorted sample, by nearest-rank
+/// on a sorted copy. 0 for an empty sample.
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sample.size())));
+  return sample[std::min(sample.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kInvalid: return "invalid";
+    case RequestStatus::kDeadline: return "deadline";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ServingEngine::ServingEngine(CompiledNetwork model, ServingOptions opt)
+    : ServingEngine(
+          [&] {
+            std::vector<CompiledNetwork> ms;
+            ms.push_back(std::move(model));
+            return ms;
+          }(),
+          opt) {}
+
+ServingEngine::ServingEngine(std::vector<CompiledNetwork> models,
+                             ServingOptions opt)
+    : opt_(opt), start_time_(Clock::now()) {
+  TASD_CHECK_MSG(!models.empty(), "ServingEngine needs at least one model");
+  TASD_CHECK_MSG(opt_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
+  TASD_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be >= 1");
+  TASD_CHECK_MSG(opt_.latency_window >= 1, "latency_window must be >= 1");
+  models_.reserve(models.size());
+  for (auto& m : models) models_.emplace_back(std::move(m));
+  // Start the batcher last: everything it touches is constructed.
+  batcher_ = std::thread([this] { batcher_main(); });
+}
+
+ServingEngine::~ServingEngine() { drain(); }
+
+const CompiledNetwork& ServingEngine::model(std::size_t i) const {
+  TASD_CHECK_MSG(i < models_.size(), "model index " << i << " out of range ("
+                                                    << models_.size()
+                                                    << " models)");
+  return models_[i].net;
+}
+
+std::size_t ServingEngine::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::future<Response> ServingEngine::submit(
+    std::size_t model_index, std::size_t layer_index, MatrixF input,
+    std::optional<std::chrono::microseconds> deadline) {
+  TASD_CHECK_MSG(model_index < models_.size(),
+                 "model index " << model_index << " out of range ("
+                                << models_.size() << " models)");
+  Request req;
+  req.model = model_index;
+  req.layer = layer_index;
+  req.input = std::move(input);
+  req.submit_time = Clock::now();
+  const auto effective = deadline.value_or(opt_.default_deadline);
+  if (effective.count() > 0) req.deadline = req.submit_time + effective;
+
+  std::future<Response> future = req.promise.get_future();
+  std::optional<std::string> shed_reason;
+  {
+    std::unique_lock lock(mu_);
+    models_[model_index].submitted++;
+    if (draining_) {
+      shed_reason = "engine is draining";
+    } else if (queue_.size() >= opt_.max_queue_depth) {
+      if (opt_.overflow == ServingOptions::Overflow::kReject) {
+        shed_reason = "queue full (depth " + std::to_string(queue_.size()) +
+                      ", policy reject)";
+      } else {
+        space_cv_.wait(lock, [&] {
+          return draining_ || queue_.size() < opt_.max_queue_depth;
+        });
+        if (draining_) shed_reason = "engine drained while blocked on queue space";
+      }
+    }
+    if (!shed_reason) {
+      PerModel& pm = models_[model_index];
+      pm.queued++;
+      pm.peak_queued = std::max(pm.peak_queued, pm.queued);
+      queue_.push_back(std::move(req));
+    }
+  }
+  if (shed_reason) {
+    Response resp;
+    resp.status = RequestStatus::kShed;
+    resp.error = *shed_reason;
+    resolve(req, std::move(resp));
+  } else {
+    work_cv_.notify_one();
+  }
+  return future;
+}
+
+std::future<Response> ServingEngine::submit(
+    std::size_t layer_index, MatrixF input,
+    std::optional<std::chrono::microseconds> deadline) {
+  return submit(0, layer_index, std::move(input), deadline);
+}
+
+void ServingEngine::drain() {
+  {
+    std::lock_guard lock(mu_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  // Serialize the join: drain() is idempotent and may race the
+  // destructor with an explicit call.
+  std::lock_guard lock(drain_mu_);
+  if (batcher_.joinable()) batcher_.join();
+}
+
+ModelMetrics ServingEngine::metrics(std::size_t model_index) const {
+  TASD_CHECK_MSG(model_index < models_.size(),
+                 "model index " << model_index << " out of range ("
+                                << models_.size() << " models)");
+  ModelMetrics out;
+  std::vector<double> latencies;
+  {
+    std::lock_guard lock(mu_);
+    const PerModel& pm = models_[model_index];
+    out.model = pm.net.name();
+    out.submitted = pm.submitted;
+    out.ok = pm.ok;
+    out.invalid = pm.invalid;
+    out.expired = pm.expired;
+    out.shed = pm.shed;
+    out.failed = pm.failed;
+    out.batches = pm.batches;
+    out.batched_requests = pm.batched_requests;
+    out.degraded_batches = pm.degraded_batches;
+    out.queue_depth = pm.queued;
+    out.peak_queue_depth = pm.peak_queued;
+    latencies = pm.latencies;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start_time_).count();
+  out.qps = elapsed_s > 0.0 ? static_cast<double>(out.ok) / elapsed_s : 0.0;
+  out.p50_ms = percentile(latencies, 0.50);
+  out.p95_ms = percentile(latencies, 0.95);
+  out.p99_ms = percentile(latencies, 0.99);
+  return out;
+}
+
+void ServingEngine::resolve(Request& req, Response response) {
+  response.latency_ms = ms_between(req.submit_time, Clock::now());
+  {
+    std::lock_guard lock(mu_);
+    PerModel& pm = models_[req.model];
+    switch (response.status) {
+      case RequestStatus::kOk:
+        pm.ok++;
+        if (pm.latencies.size() < opt_.latency_window) {
+          pm.latencies.push_back(response.latency_ms);
+        } else {
+          pm.latencies[pm.latency_next] = response.latency_ms;
+          pm.latency_next = (pm.latency_next + 1) % opt_.latency_window;
+        }
+        break;
+      case RequestStatus::kInvalid: pm.invalid++; break;
+      case RequestStatus::kDeadline: pm.expired++; break;
+      case RequestStatus::kShed: pm.shed++; break;
+      case RequestStatus::kFailed: pm.failed++; break;
+    }
+  }
+  req.promise.set_value(std::move(response));
+}
+
+void ServingEngine::batcher_main() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (draining_) return;
+      continue;
+    }
+    const std::size_t key_model = queue_.front().model;
+    const std::size_t key_layer = queue_.front().layer;
+    const auto matching = [&] {
+      std::size_t n = 0;
+      for (const auto& r : queue_)
+        if (r.model == key_model && r.layer == key_layer) ++n;
+      return n;
+    };
+    // Hold the admission window open for batchmates — but never past
+    // the head's own deadline, and not at all while draining (the flush
+    // must be prompt) or when the batch is already full.
+    if (!draining_ && opt_.admission_window.count() > 0 &&
+        matching() < opt_.max_batch) {
+      auto wait_end = queue_.front().submit_time + opt_.admission_window;
+      if (queue_.front().deadline && *queue_.front().deadline < wait_end)
+        wait_end = *queue_.front().deadline;
+      work_cv_.wait_until(lock, wait_end, [&] {
+        return draining_ || matching() >= opt_.max_batch;
+      });
+    }
+    // Dequeue up to max_batch requests with the head's (model, layer),
+    // preserving arrival order of everything else.
+    std::vector<Request> group;
+    std::deque<Request> rest;
+    while (!queue_.empty()) {
+      Request r = std::move(queue_.front());
+      queue_.pop_front();
+      if (group.size() < opt_.max_batch && r.model == key_model &&
+          r.layer == key_layer) {
+        group.push_back(std::move(r));
+      } else {
+        rest.push_back(std::move(r));
+      }
+    }
+    queue_ = std::move(rest);
+    models_[key_model].queued -= group.size();
+
+    lock.unlock();
+    space_cv_.notify_all();
+    execute_group(std::move(group));
+    lock.lock();
+  }
+}
+
+void ServingEngine::execute_group(std::vector<Request> group) {
+  const auto dequeue_time = Clock::now();
+  PerModel& pm = models_[group.front().model];
+  const std::size_t layer = group.front().layer;
+
+  // Dequeue-time expiry and per-request admission validation: a request
+  // that expired or cannot legally run resolves here and never touches
+  // the kernels — and never poisons its batchmates.
+  std::vector<std::size_t> runnable;
+  runnable.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Request& req = group[i];
+    const double queue_ms = ms_between(req.submit_time, dequeue_time);
+    if (req.deadline && dequeue_time > *req.deadline) {
+      Response resp;
+      resp.status = RequestStatus::kDeadline;
+      resp.error = "deadline exceeded after " + std::to_string(queue_ms) +
+                   " ms in queue";
+      resp.queue_ms = queue_ms;
+      resolve(req, std::move(resp));
+      continue;
+    }
+    try {
+      pm.net.validate_input(req.layer, req.input);
+      runnable.push_back(i);
+    } catch (const Error& e) {
+      Response resp;
+      resp.status = status_from_code(e.code());
+      resp.error = e.what();
+      resp.queue_ms = queue_ms;
+      resolve(req, std::move(resp));
+    }
+  }
+  if (runnable.empty()) return;
+
+  std::vector<MatrixF> inputs;
+  inputs.reserve(runnable.size());
+  for (const std::size_t i : runnable)
+    inputs.push_back(std::move(group[i].input));
+
+  const auto finish = [&](std::size_t j, MatrixF output,
+                          std::size_t batch_size) {
+    Request& req = group[runnable[j]];
+    Response resp;
+    resp.status = RequestStatus::kOk;
+    resp.output = std::move(output);
+    resp.queue_ms = ms_between(req.submit_time, dequeue_time);
+    resp.batch_size = batch_size;
+    resolve(req, std::move(resp));
+  };
+
+  try {
+    fault::inject("serving.execute", pm.net.name());
+    auto outputs = pm.net.run_batch(layer, inputs);
+    {
+      // Count the batch before resolving any promise: a caller that
+      // joins its future must see these counters in metrics().
+      std::lock_guard lock(mu_);
+      pm.batches++;
+      pm.batched_requests += runnable.size();
+    }
+    for (std::size_t j = 0; j < runnable.size(); ++j)
+      finish(j, std::move(outputs[j]), runnable.size());
+  } catch (const std::exception&) {
+    // Graceful degradation: the batch as a whole failed (throwing
+    // layer, injected fault, allocation failure). Retry each admitted
+    // request alone so only the ones that fail on their own do fail —
+    // the batcher thread survives regardless.
+    {
+      std::lock_guard lock(mu_);
+      pm.degraded_batches++;
+    }
+    for (std::size_t j = 0; j < runnable.size(); ++j) {
+      Request& req = group[runnable[j]];
+      try {
+        finish(j, pm.net.run(layer, inputs[j]), 1);
+      } catch (const Error& e) {
+        Response resp;
+        resp.status = status_from_code(e.code());
+        resp.error = e.what();
+        resp.queue_ms = ms_between(req.submit_time, dequeue_time);
+        resolve(req, std::move(resp));
+      } catch (const std::exception& e) {
+        Response resp;
+        resp.status = RequestStatus::kFailed;
+        resp.error = e.what();
+        resp.queue_ms = ms_between(req.submit_time, dequeue_time);
+        resolve(req, std::move(resp));
+      }
+    }
+  }
+}
+
+}  // namespace tasd::rt

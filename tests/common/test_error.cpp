@@ -27,5 +27,47 @@ TEST(Error, IsRuntimeError) {
   EXPECT_THROW(TASD_CHECK(false), std::runtime_error);
 }
 
+TEST(Error, DefaultCodeIsInvalidArgument) {
+  // The one-argument form keeps every pre-taxonomy call site meaning
+  // what it always meant: a broken API contract.
+  const Error e("plain message");
+  EXPECT_EQ(e.code(), Error::Code::kInvalidArgument);
+}
+
+TEST(Error, ChecksCarryInvalidArgument) {
+  try {
+    TASD_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Error::Code::kInvalidArgument);
+  }
+}
+
+TEST(Error, ExplicitCodesRoundTrip) {
+  for (const auto code :
+       {Error::Code::kInvalidArgument, Error::Code::kFailedPrecondition,
+        Error::Code::kDeadlineExceeded, Error::Code::kResourceExhausted,
+        Error::Code::kUnavailable, Error::Code::kInternal}) {
+    const Error a(code, "msg");
+    EXPECT_EQ(a.code(), code);
+    const Error b("msg", code);  // both argument orders are supported
+    EXPECT_EQ(b.code(), code);
+    EXPECT_STREQ(a.what(), "msg");
+  }
+}
+
+TEST(Error, CodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(Error::Code::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(error_code_name(Error::Code::kFailedPrecondition),
+               "failed_precondition");
+  EXPECT_STREQ(error_code_name(Error::Code::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(error_code_name(Error::Code::kResourceExhausted),
+               "resource_exhausted");
+  EXPECT_STREQ(error_code_name(Error::Code::kUnavailable), "unavailable");
+  EXPECT_STREQ(error_code_name(Error::Code::kInternal), "internal");
+}
+
 }  // namespace
 }  // namespace tasd

@@ -1,0 +1,146 @@
+// Deterministic fault injection (common/fault.hpp): matching, seeded
+// fire schedules, fire caps, kinds, and RAII disarm.
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace tasd::fault {
+namespace {
+
+TEST(Fault, NothingArmedIsANoop) {
+  ASSERT_FALSE(any_armed());
+  EXPECT_NO_THROW(inject("rt.run", "layer"));
+}
+
+TEST(Fault, ScopedFaultArmsAndDisarms) {
+  {
+    Spec spec;
+    spec.site = "unit.site";
+    const ScopedFault f(spec);
+    EXPECT_TRUE(any_armed());
+    EXPECT_THROW(inject("unit.site"), Error);
+    EXPECT_EQ(f.hits(), 1u);
+    EXPECT_EQ(f.fires(), 1u);
+  }
+  EXPECT_FALSE(any_armed());
+  EXPECT_NO_THROW(inject("unit.site"));
+}
+
+TEST(Fault, SiteAndDetailMatchAsSubstrings) {
+  Spec spec;
+  spec.site = "run_batch";
+  spec.detail = "conv";
+  const ScopedFault f(spec);
+  EXPECT_NO_THROW(inject("rt.run", "conv1"));        // site mismatch
+  EXPECT_NO_THROW(inject("rt.run_batch", "fc7"));    // detail mismatch
+  EXPECT_THROW(inject("rt.run_batch", "conv1"), Error);
+  EXPECT_EQ(f.hits(), 1u) << "non-matching hits must not count";
+}
+
+TEST(Fault, EmptySiteMatchesEverySite) {
+  Spec spec;
+  spec.max_fires = 0;  // observe only
+  const ScopedFault f(spec);
+  inject("a");
+  inject("b", "c");
+  EXPECT_EQ(f.hits(), 2u);
+  EXPECT_EQ(f.fires(), 0u);
+}
+
+TEST(Fault, MaxFiresCapsButHitsKeepCounting) {
+  Spec spec;
+  spec.site = "capped";
+  spec.max_fires = 2;
+  const ScopedFault f(spec);
+  EXPECT_THROW(inject("capped"), Error);
+  EXPECT_THROW(inject("capped"), Error);
+  EXPECT_NO_THROW(inject("capped"));
+  EXPECT_NO_THROW(inject("capped"));
+  EXPECT_EQ(f.hits(), 4u);
+  EXPECT_EQ(f.fires(), 2u);
+}
+
+TEST(Fault, SeededScheduleIsDeterministic) {
+  const auto schedule = [](std::uint64_t seed) {
+    Spec spec;
+    spec.site = "seeded";
+    spec.probability = 0.5;
+    spec.seed = seed;
+    const ScopedFault f(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        inject("seeded");
+      } catch (const Error&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  const auto a = schedule(42), b = schedule(42), c = schedule(43);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same fire pattern";
+  EXPECT_NE(a, c) << "different seeds must differ (64 draws at p=0.5)";
+  // p=0.5 over 64 draws: both outcomes occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), false), 0);
+}
+
+TEST(Fault, ThrownErrorCarriesInternalCodeSiteAndMessage) {
+  Spec spec;
+  spec.site = "msgsite";
+  spec.message = "custom fault text";
+  const ScopedFault f(spec);
+  try {
+    inject("msgsite", "layer9");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Error::Code::kInternal);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom fault text"), std::string::npos);
+    EXPECT_NE(what.find("msgsite"), std::string::npos);
+    EXPECT_NE(what.find("layer9"), std::string::npos);
+  }
+}
+
+TEST(Fault, BadAllocKindThrowsBadAlloc) {
+  Spec spec;
+  spec.site = "alloc";
+  spec.kind = Kind::kBadAlloc;
+  const ScopedFault f(spec);
+  EXPECT_THROW(inject("alloc"), std::bad_alloc);
+}
+
+TEST(Fault, DelayKindSleepsAndContinues) {
+  Spec spec;
+  spec.site = "slow";
+  spec.kind = Kind::kDelay;
+  spec.delay_us = 20000;
+  const ScopedFault f(spec);
+  Timer t;
+  EXPECT_NO_THROW(inject("slow"));
+  EXPECT_GE(t.millis(), 15.0) << "delay fault did not stall";
+  EXPECT_EQ(f.fires(), 1u);
+}
+
+TEST(Fault, StackedFaultsAllConsulted) {
+  Spec observe;
+  observe.max_fires = 0;
+  Spec thrower;
+  thrower.site = "stacked";
+  const ScopedFault watch(observe);
+  const ScopedFault boom(thrower);
+  EXPECT_THROW(inject("stacked"), Error);
+  EXPECT_EQ(watch.hits(), 1u) << "earlier specs still record the hit";
+}
+
+}  // namespace
+}  // namespace tasd::fault

@@ -105,6 +105,100 @@ TEST(ThreadPool, PropagatesChunkException) {
   }
 }
 
+TEST(ThreadPool, RecoversAfterExceptionsAcrossManyRounds) {
+  // A long-lived pool (the serving engine's execution substrate) must
+  // survive arbitrary interleavings of throwing and clean rounds.
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 20; ++round) {
+      if (round % 2 == 0) {
+        EXPECT_THROW(
+            pool.parallel_for(0, 64, 1,
+                              [&](std::size_t b, std::size_t) {
+                                if (b % 2 == 0) throw Error("round failure");
+                              }),
+            Error)
+            << "threads=" << threads << " round=" << round;
+      } else {
+        std::atomic<long> sum{0};
+        pool.parallel_for(0, 64, 1, [&](std::size_t b, std::size_t e) {
+          long local = 0;
+          for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+          sum.fetch_add(local);
+        });
+        EXPECT_EQ(sum.load(), 2016)
+            << "threads=" << threads << " round=" << round;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, EveryChunkThrowingPropagatesExactlyOneException) {
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::atomic<int> attempts{0};
+    try {
+      pool.parallel_for(0, 100, 1, [&](std::size_t, std::size_t) {
+        attempts.fetch_add(1);
+        throw Error("all chunks fail");
+      });
+      FAIL() << "should have thrown (threads=" << threads << ")";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("all chunks fail"),
+                std::string::npos);
+    }
+    // Every chunk ran to its throw; none was abandoned mid-queue.
+    EXPECT_EQ(attempts.load(),
+              static_cast<int>(pool.partition(100, 1).size() - 1));
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 10, 1, [&](std::size_t b, std::size_t e) {
+      count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 10) << "pool unusable after mass failure";
+  }
+}
+
+TEST(ThreadPool, NonTasdExceptionsPropagateToo) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 16, 1,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 0) throw std::bad_alloc();
+                                 }),
+               std::bad_alloc);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 16, 1, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ExceptionInNestedParallelForReachesOuterCaller) {
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(0, 8, 1,
+                          [&](std::size_t b, std::size_t) {
+                            pool.parallel_for(
+                                0, 4, 1, [&](std::size_t nb, std::size_t) {
+                                  if (b == 0 && nb == 0)
+                                    throw Error("nested failure");
+                                });
+                          }),
+        Error)
+        << "threads=" << threads;
+    // Outer and inner levels both stay usable.
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 4, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        pool.parallel_for(0, 2, 1, [&](std::size_t nb, std::size_t ne) {
+          total.fetch_add(static_cast<int>(ne - nb));
+        });
+      }
+    });
+    EXPECT_EQ(total.load(), 8) << "threads=" << threads;
+  }
+}
+
 TEST(ThreadPool, NestedParallelForRunsInline) {
   ThreadPool pool(4);
   std::atomic<int> total{0};

@@ -1,14 +1,23 @@
 // Failure injection: malformed inputs must fail loudly (tasd::Error),
-// never silently corrupt results.
+// never silently corrupt results — including on the concurrent batch
+// path, where a mid-batch failure must name the offending item and
+// leave the compiled artifact fully usable.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
 #include "accel/perf_model.hpp"
+#include "common/fault.hpp"
+#include "common/rng.hpp"
 #include "core/decompose.hpp"
 #include "core/series_enum.hpp"
 #include "dnn/builders.hpp"
 #include "dnn/metrics.hpp"
 #include "runtime/compiled_network.hpp"
 #include "tasder/tasda.hpp"
+#include "tensor/generator.hpp"
 
 namespace tasd {
 namespace {
@@ -84,6 +93,154 @@ TEST(FailureInjection, TasdaSelectionHandlesExtremeSparsity) {
   EXPECT_EQ(cfg->str(), "1:8");
   // Negative sparsity: nothing fits.
   EXPECT_FALSE(tasder::select_tasda_config(candidates, -1.0, 0.0));
+}
+
+// --- Concurrent-path containment -----------------------------------
+//
+// The cases below drive the real compiled kernel path (TASD series and
+// dense layers) at thread counts {0, 2, 8} — the same execution
+// substrate the serving engine batches onto.
+
+/// Two-layer net (one 2:4 TASD, one dense) with integration-suite seeds.
+rt::CompiledNetwork compile_two_layer(std::size_t threads,
+                                      bool validate_inputs = false) {
+  dnn::NetworkWorkload net;
+  net.name = "inject-net";
+  net.sparse_weights = true;
+  dnn::GemmWorkload l1;
+  l1.name = "fi_sparse";
+  l1.m = 48;
+  l1.k = 128;
+  l1.n = 32;
+  l1.weight_density = 0.1;
+  l1.weight_seed = 7300;
+  dnn::GemmWorkload l2 = l1;
+  l2.name = "fi_dense";
+  l2.m = 64;
+  l2.k = 96;
+  l2.weight_seed = 7301;
+  net.layers = {l1, l2};
+  rt::CompileOptions opt;
+  opt.validate_inputs = validate_inputs;
+  opt.measure.num_threads = threads;
+  return rt::compile(net, {TasdConfig::parse("2:4"), std::nullopt}, opt);
+}
+
+TEST(FailureInjection, MidBatchShapeMismatchNamesItemUnderThreads) {
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    const auto net = compile_two_layer(threads);
+    for (std::size_t layer : {0u, 1u}) {
+      Rng rng(9301 + layer);
+      std::vector<MatrixF> batch;
+      for (int i = 0; i < 4; ++i)
+        batch.push_back(random_dense(net.layer(layer).k, 3,
+                                     Dist::kNormalStd1, rng));
+      // Poison item 2 with a wrong row count.
+      batch[2] = random_dense(net.layer(layer).k + 1, 3, Dist::kNormalStd1,
+                              rng);
+      try {
+        (void)net.run_batch(layer, batch);
+        FAIL() << "threads=" << threads << " layer=" << layer;
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Error::Code::kInvalidArgument);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("at item 2"), std::string::npos) << what;
+        EXPECT_NE(what.find(net.layer(layer).name), std::string::npos);
+      }
+      // The artifact stays usable: the healthy prefix runs bit-exactly.
+      batch.resize(2);
+      const auto out = net.run_batch(layer, batch);
+      ASSERT_EQ(out.size(), 2u);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], net.run(layer, batch[i]))
+            << "threads=" << threads << " layer=" << layer << " i=" << i;
+    }
+  }
+}
+
+TEST(FailureInjection, ThrowingLayerUnderThreadsIsContained) {
+  for (std::size_t threads : {0u, 2u, 8u}) {
+    const auto net = compile_two_layer(threads);
+    Rng rng(9310);
+    std::vector<MatrixF> batch;
+    for (int i = 0; i < 3; ++i)
+      batch.push_back(random_dense(net.layer(0).k, 2, Dist::kNormalStd1,
+                                   rng));
+    const auto reference = net.run_batch(0, batch);
+    {
+      fault::Spec spec;
+      spec.site = "rt.run_batch";
+      spec.detail = "fi_sparse";
+      const fault::ScopedFault f(spec);
+      try {
+        (void)net.run_batch(0, batch);
+        FAIL() << "threads=" << threads;
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Error::Code::kInternal);
+      }
+      EXPECT_EQ(f.fires(), 1u);
+      // Other layers are unaffected while the fault is armed.
+      EXPECT_NO_THROW(net.run(
+          1, random_dense(net.layer(1).k, 1, Dist::kNormalStd1, rng)));
+    }
+    // Disarmed: same call, bit-exact results — no corrupted state.
+    EXPECT_EQ(net.run_batch(0, batch), reference) << "threads=" << threads;
+  }
+}
+
+TEST(FailureInjection, ValidateInputsRejectsNonFiniteNamingItem) {
+  const auto strict = compile_two_layer(0, /*validate_inputs=*/true);
+  const auto lax = compile_two_layer(0, /*validate_inputs=*/false);
+  const float poisons[] = {std::numeric_limits<float>::quiet_NaN(),
+                           std::numeric_limits<float>::infinity(),
+                           -std::numeric_limits<float>::infinity()};
+  for (const float poison : poisons) {
+    Rng rng(9320);
+    std::vector<MatrixF> batch;
+    for (int i = 0; i < 3; ++i)
+      batch.push_back(random_dense(strict.layer(0).k, 2, Dist::kNormalStd1,
+                                   rng));
+    batch[1](5, 1) = poison;
+    try {
+      (void)strict.run_batch(0, batch);
+      FAIL() << "poison=" << poison;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), Error::Code::kInvalidArgument);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+      EXPECT_NE(what.find("batch item 1"), std::string::npos) << what;
+    }
+    // Off by default: the scan is opt-in, so the lax artifact computes
+    // through (garbage in, garbage out — but no throw).
+    EXPECT_NO_THROW(lax.run_batch(0, batch));
+  }
+}
+
+TEST(FailureInjection, FaultScheduleIsDeterministicThroughKernelPath) {
+  const auto net = compile_two_layer(0);
+  Rng rng(9330);
+  const MatrixF in = random_dense(net.layer(1).k, 1, Dist::kNormalStd1, rng);
+  const auto drive = [&] {
+    fault::Spec spec;
+    spec.site = "rt.run";
+    spec.detail = "fi_dense";
+    spec.probability = 0.5;
+    spec.seed = 99;
+    const fault::ScopedFault f(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 32; ++i) {
+      bool threw = false;
+      try {
+        (void)net.run(1, in);
+      } catch (const Error&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  EXPECT_EQ(drive(), drive())
+      << "same seed through the real kernel path must reproduce";
 }
 
 }  // namespace

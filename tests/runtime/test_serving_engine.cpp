@@ -1,0 +1,564 @@
+// ServingEngine robustness acceptance suite: admitted requests are
+// bit-identical to direct run_batch; under injected faults (throwing
+// layer, slow kernel, poisoned input, queue overflow) every request
+// resolves with a definite status, the engine never crashes or
+// deadlocks, and drain() terminates. Runs under both TSan and ASan in
+// CI (the engine is the repo's first long-lived multi-threaded
+// component).
+#include "runtime/serving_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "common/rng.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Small two-layer workload (one TASD, one dense). Seeds are distinct
+/// from every other suite so PlanCache cross-talk can't mask anything.
+dnn::NetworkWorkload tiny_net(std::uint64_t seed_base = 7100) {
+  dnn::NetworkWorkload net;
+  net.name = "tiny-serving";
+  net.sparse_weights = true;
+  dnn::GemmWorkload l1;
+  l1.name = "a";
+  l1.m = 48;
+  l1.k = 128;
+  l1.n = 32;
+  l1.weight_density = 0.1;
+  l1.weight_seed = seed_base;
+  dnn::GemmWorkload l2 = l1;
+  l2.name = "b";
+  l2.m = 64;
+  l2.k = 96;
+  l2.weight_seed = seed_base + 1;
+  net.layers = {l1, l2};
+  return net;
+}
+
+std::vector<std::optional<TasdConfig>> mixed_configs() {
+  return {TasdConfig::parse("2:4"), std::nullopt};
+}
+
+CompiledNetwork compile_tiny(bool validate_inputs = false,
+                             std::size_t threads = 0) {
+  CompileOptions opt;
+  opt.validate_inputs = validate_inputs;
+  opt.measure.num_threads = threads;
+  return compile(tiny_net(), mixed_configs(), opt);
+}
+
+MatrixF query(Rng& rng, Index rows, Index cols = 1) {
+  return random_dense(rows, cols, Dist::kNormalStd1, rng);
+}
+
+TEST(ServingEngine, AdmittedResultsBitIdenticalToDirectRunBatch) {
+  // A second compile of the same net shares plans and kernel selection,
+  // so its outputs are the bit-exact reference for the engine's.
+  const auto reference = compile_tiny();
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(20);
+  sopt.max_batch = 4;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9001);
+  std::vector<std::pair<std::size_t, MatrixF>> queries;
+  for (int i = 0; i < 24; ++i) {
+    const std::size_t layer = static_cast<std::size_t>(i) % 2;
+    queries.emplace_back(layer,
+                         query(rng, reference.layer(layer).k, 1 + i % 3));
+  }
+  std::vector<std::future<Response>> futures;
+  for (auto& [layer, input] : queries)
+    futures.push_back(engine.submit(layer, input));
+  engine.drain();
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Response resp = futures[i].get();
+    ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+    EXPECT_GE(resp.batch_size, 1u);
+    // run_batch of one item == run item-by-item (the repo's serving
+    // invariant), so run() is the per-request reference regardless of
+    // the batch the engine coalesced.
+    EXPECT_EQ(resp.output, reference.run(queries[i].first, queries[i].second))
+        << "request " << i;
+    EXPECT_GE(resp.latency_ms, resp.queue_ms);
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.ok, queries.size());
+  EXPECT_EQ(m.submitted, queries.size());
+  EXPECT_EQ(m.batched_requests, queries.size());
+  EXPECT_GT(m.batches, 0u);
+  EXPECT_GT(m.qps, 0.0);
+  EXPECT_LE(m.p50_ms, m.p95_ms);
+  EXPECT_LE(m.p95_ms, m.p99_ms);
+}
+
+TEST(ServingEngine, CoalescesSameLayerRequestsIntoOneBatch) {
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(200);  // plenty to collect all 6
+  sopt.max_batch = 6;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9002);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+    // The window was far longer than the submit loop, and the batch
+    // closes the moment it fills, so all 6 ran together.
+    EXPECT_EQ(resp.batch_size, 6u);
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.batched_requests, 6u);
+}
+
+TEST(ServingEngine, ExpiredRequestsCompleteWithDeadlineAndNeverRun) {
+  // Deterministic expiry: a sacrificial request on layer 'b' stalls the
+  // batcher for 30 ms (injected slow batch), so the 1 µs deadlines of
+  // the layer-'a' requests queued behind it have long expired when the
+  // batcher dequeues them.
+  fault::Spec slow;
+  slow.site = "serving.execute";
+  slow.kind = fault::Kind::kDelay;
+  slow.delay_us = 30000;
+  slow.max_fires = 1;
+  const fault::ScopedFault stall(slow);
+  fault::Spec probe;  // counts kernel-path entries; fires nothing
+  probe.site = "rt.run";
+  probe.probability = 0.0;
+  const fault::ScopedFault executions(probe);
+
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(0);
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9003);
+  auto sacrificial = engine.submit(1, query(rng, engine.model(0).layer(1).k));
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(engine.submit(0, query(rng, k), microseconds(1)));
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    EXPECT_EQ(resp.status, RequestStatus::kDeadline);
+    EXPECT_NE(resp.error.find("deadline"), std::string::npos);
+    EXPECT_EQ(resp.batch_size, 0u) << "expired requests must never run";
+    EXPECT_GE(resp.queue_ms, 1e-3);
+  }
+  EXPECT_EQ(sacrificial.get().status, RequestStatus::kOk);
+  engine.drain();
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.expired, 5u);
+  EXPECT_EQ(m.ok, 1u);
+  EXPECT_EQ(m.batches, 1u) << "only the sacrificial batch may execute";
+  EXPECT_EQ(executions.hits(), 1u)
+      << "an expired request reached the execution path";
+}
+
+TEST(ServingEngine, RejectPolicyShedsWhenQueueFull) {
+  // Stall the batcher with an injected slow kernel so the queue backs
+  // up behind the first request.
+  fault::Spec slow;
+  slow.site = "rt.run_batch";
+  slow.kind = fault::Kind::kDelay;
+  slow.delay_us = 30000;
+  const fault::ScopedFault stall(slow);
+
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(0);
+  sopt.max_queue_depth = 2;
+  sopt.max_batch = 1;
+  sopt.overflow = ServingOptions::Overflow::kReject;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9004);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  engine.drain();
+
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_TRUE(resp.status == RequestStatus::kOk ||
+                resp.status == RequestStatus::kShed)
+        << to_string(resp.status) << ": " << resp.error;
+    if (resp.status == RequestStatus::kOk) ++ok;
+    if (resp.status == RequestStatus::kShed) {
+      ++shed;
+      EXPECT_NE(resp.error.find("queue full"), std::string::npos);
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u) << "12 instant submits into a depth-2 queue behind a "
+                         "30 ms kernel must shed";
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.ok, ok);
+  EXPECT_EQ(m.shed, shed);
+  EXPECT_EQ(m.submitted, futures.size());
+}
+
+TEST(ServingEngine, BlockPolicyBackpressuresAndEventuallyServesAll) {
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(0);
+  sopt.max_queue_depth = 2;
+  sopt.overflow = ServingOptions::Overflow::kBlock;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9005);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 20; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, RequestStatus::kOk)
+        << "blocking submitters must be served, not shed";
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.ok, 20u);
+  EXPECT_LE(m.peak_queue_depth, sopt.max_queue_depth);
+}
+
+TEST(ServingEngine, BatchFaultDegradesToPerRequestExecution) {
+  // The whole-batch call throws once; the engine must retry each
+  // request alone and serve all of them (rt.run is unarmed).
+  fault::Spec spec;
+  spec.site = "rt.run_batch";
+  spec.max_fires = 1;
+  spec.message = "injected batch fault";
+  const fault::ScopedFault batch_fault(spec);
+
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(100);
+  sopt.max_batch = 5;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  const auto reference = compile_tiny();
+  Rng rng(9006);
+  std::vector<MatrixF> inputs;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(query(rng, reference.layer(0).k));
+    futures.push_back(engine.submit(0, inputs.back()));
+  }
+  engine.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response resp = futures[i].get();
+    ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+    EXPECT_EQ(resp.batch_size, 1u) << "degraded requests run alone";
+    EXPECT_EQ(resp.output, reference.run(0, inputs[i]));
+  }
+  EXPECT_EQ(batch_fault.fires(), 1u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.ok, 5u);
+  EXPECT_GE(m.degraded_batches, 1u);
+}
+
+TEST(ServingEngine, AllocationFailureFaultIsContained) {
+  fault::Spec spec;
+  spec.site = "rt.run_batch";
+  spec.kind = fault::Kind::kBadAlloc;
+  spec.max_fires = 1;
+  const fault::ScopedFault alloc_fault(spec);
+
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(50);
+  sopt.max_batch = 4;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9007);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  engine.drain();
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, RequestStatus::kOk)
+        << "one std::bad_alloc in the batch path must degrade, not kill";
+  EXPECT_EQ(alloc_fault.fires(), 1u);
+}
+
+TEST(ServingEngine, PersistentLayerFaultFailsRequestsNotTheEngine) {
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(0);
+  ServingEngine engine(compile_tiny(), sopt);
+  Rng rng(9008);
+  const Index k = engine.model(0).layer(0).k;
+
+  {
+    // Both the batch path and the per-request fallback throw for layer
+    // 'a': every request against it fails — with a definite status.
+    fault::Spec batch;
+    batch.site = "rt.run_batch";
+    batch.detail = "a";
+    fault::Spec single;
+    single.site = "rt.run";
+    single.detail = "a";
+    const fault::ScopedFault f1(batch);
+    const fault::ScopedFault f2(single);
+
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 4; ++i)
+      futures.push_back(engine.submit(0, query(rng, k)));
+    for (auto& f : futures) {
+      const Response resp = f.get();
+      EXPECT_EQ(resp.status, RequestStatus::kFailed);
+      EXPECT_NE(resp.error.find("injected fault"), std::string::npos);
+    }
+    // The dense layer 'b' is unaffected even while the fault is armed.
+    const Response dense =
+        engine.submit(1, query(rng, engine.model(0).layer(1).k)).get();
+    EXPECT_EQ(dense.status, RequestStatus::kOk) << dense.error;
+  }
+
+  // Fault disarmed: the same engine serves layer 'a' again.
+  const Response after = engine.submit(0, query(rng, k)).get();
+  EXPECT_EQ(after.status, RequestStatus::kOk) << after.error;
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.failed, 4u);
+  EXPECT_EQ(m.ok, 2u);
+}
+
+TEST(ServingEngine, PoisonedInputFailsOnlyItsOwnRequest) {
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(100);
+  sopt.max_batch = 4;
+  ServingEngine engine(compile_tiny(/*validate_inputs=*/true), sopt);
+  const auto reference = compile_tiny();
+
+  Rng rng(9009);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<MatrixF> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(query(rng, k));
+  inputs[2](k / 2, 0) = std::nanf("");
+
+  std::vector<std::future<Response>> futures;
+  for (auto& in : inputs) futures.push_back(engine.submit(0, in));
+  engine.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response resp = futures[i].get();
+    if (i == 2) {
+      EXPECT_EQ(resp.status, RequestStatus::kInvalid);
+      EXPECT_NE(resp.error.find("non-finite"), std::string::npos);
+      EXPECT_EQ(resp.batch_size, 0u) << "poisoned inputs must never run";
+    } else {
+      ASSERT_EQ(resp.status, RequestStatus::kOk) << resp.error;
+      EXPECT_EQ(resp.output, reference.run(0, inputs[i]))
+          << "batchmates of a poisoned input must still be exact";
+    }
+  }
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.invalid, 1u);
+  EXPECT_EQ(m.ok, 3u);
+}
+
+TEST(ServingEngine, ShapeMismatchAndBadLayerAreContained) {
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(50);
+  sopt.max_batch = 3;
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9010);
+  const Index k = engine.model(0).layer(0).k;
+  auto good = engine.submit(0, query(rng, k));
+  auto wrong_shape = engine.submit(0, query(rng, k + 1));
+  auto bad_layer = engine.submit(99, query(rng, k));
+  engine.drain();
+
+  EXPECT_EQ(good.get().status, RequestStatus::kOk);
+  const Response ws = wrong_shape.get();
+  EXPECT_EQ(ws.status, RequestStatus::kInvalid);
+  EXPECT_NE(ws.error.find("right-hand side"), std::string::npos);
+  EXPECT_EQ(bad_layer.get().status, RequestStatus::kInvalid);
+}
+
+TEST(ServingEngine, DrainFlushesQueuedWorkAndRejectsNewWork) {
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(200);
+  ServingEngine engine(compile_tiny(), sopt);
+  Rng rng(9011);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  engine.drain();  // must terminate without waiting out the window
+  for (auto& f : futures)
+    EXPECT_EQ(f.get().status, RequestStatus::kOk) << "drain must flush";
+  EXPECT_EQ(engine.queue_depth(), 0u);
+
+  const Response late = engine.submit(0, query(rng, k)).get();
+  EXPECT_EQ(late.status, RequestStatus::kShed);
+  EXPECT_NE(late.error.find("draining"), std::string::npos);
+  engine.drain();  // idempotent
+}
+
+TEST(ServingEngine, DestructorResolvesEverything) {
+  std::vector<std::future<Response>> futures;
+  {
+    ServingOptions sopt;
+    sopt.admission_window = milliseconds(100);
+    ServingEngine engine(compile_tiny(), sopt);
+    Rng rng(9012);
+    const Index k = engine.model(0).layer(0).k;
+    for (int i = 0; i < 8; ++i)
+      futures.push_back(engine.submit(0, query(rng, k)));
+  }  // destructor drains
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "destroying the engine left a future unresolved";
+    EXPECT_EQ(f.get().status, RequestStatus::kOk);
+  }
+}
+
+TEST(ServingEngine, ConcurrentProducersEveryRequestResolves) {
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(200);
+  sopt.max_queue_depth = 16;
+  sopt.overflow = ServingOptions::Overflow::kReject;
+  ServingEngine engine(compile_tiny(), sopt);
+  const auto reference = compile_tiny();
+
+  constexpr int kThreads = 4, kPerThread = 25;
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::pair<MatrixF, std::future<Response>>>> work(
+      kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      Rng rng(9100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t layer = static_cast<std::size_t>(i) % 2;
+        MatrixF in = query(rng, reference.layer(layer).k);
+        auto fut = engine.submit(layer, in);
+        work[t].emplace_back(std::move(in), std::move(fut));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  engine.drain();
+
+  std::size_t ok = 0, shed = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < work[t].size(); ++i) {
+      Response resp = work[t][i].second.get();
+      ASSERT_TRUE(resp.status == RequestStatus::kOk ||
+                  resp.status == RequestStatus::kShed)
+          << to_string(resp.status) << ": " << resp.error;
+      if (resp.status == RequestStatus::kOk) {
+        ++ok;
+        EXPECT_EQ(resp.output,
+                  reference.run(static_cast<std::size_t>(i) % 2,
+                                work[t][i].first));
+      } else {
+        ++shed;
+      }
+    }
+  }
+  EXPECT_EQ(ok + shed, kThreads * kPerThread);
+  EXPECT_GT(ok, 0u);
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(m.ok + m.shed, m.submitted);
+}
+
+TEST(ServingEngine, MultiModelRoutingAndPerModelMetrics) {
+  std::vector<CompiledNetwork> models;
+  models.push_back(compile(tiny_net(7100), mixed_configs(), {}));
+  models.push_back(compile(tiny_net(7200), mixed_configs(), {}));
+  ServingOptions sopt;
+  sopt.admission_window = milliseconds(10);
+  ServingEngine engine(std::move(models), sopt);
+  ASSERT_EQ(engine.model_count(), 2u);
+
+  const auto ref_a = compile(tiny_net(7100), mixed_configs(), {});
+  const auto ref_b = compile(tiny_net(7200), mixed_configs(), {});
+  Rng rng(9013);
+  const MatrixF qa = query(rng, ref_a.layer(0).k);
+  const MatrixF qb = query(rng, ref_b.layer(0).k);
+  auto fa = engine.submit(0, 0, qa);
+  auto fb = engine.submit(1, 0, qb);
+  engine.drain();
+
+  const Response ra = fa.get(), rb = fb.get();
+  ASSERT_EQ(ra.status, RequestStatus::kOk) << ra.error;
+  ASSERT_EQ(rb.status, RequestStatus::kOk) << rb.error;
+  EXPECT_EQ(ra.output, ref_a.run(0, qa));
+  EXPECT_EQ(rb.output, ref_b.run(0, qb));
+  EXPECT_EQ(engine.metrics(0).ok, 1u);
+  EXPECT_EQ(engine.metrics(1).ok, 1u);
+  EXPECT_THROW(engine.metrics(2), Error);
+  EXPECT_THROW(engine.submit(7, 0, MatrixF(1, 1)), Error);
+}
+
+TEST(ServingEngine, SlowKernelExpiresLaterArrivalsButTerminates) {
+  // 40 ms per executed batch against 100 ms default deadlines: the
+  // sleeps alone guarantee the fourth-and-later requests expire
+  // (3 x 40 ms > 100 ms), while the first has 100 ms of slack to reach
+  // the batcher — robust even under sanitizer slowdowns.
+  fault::Spec slow;
+  slow.site = "rt.run_batch";
+  slow.kind = fault::Kind::kDelay;
+  slow.delay_us = 40000;
+  const fault::ScopedFault stall(slow);
+
+  ServingOptions sopt;
+  sopt.admission_window = microseconds(0);
+  sopt.max_batch = 1;
+  sopt.max_queue_depth = 64;
+  sopt.default_deadline = milliseconds(100);
+  ServingEngine engine(compile_tiny(), sopt);
+
+  Rng rng(9014);
+  const Index k = engine.model(0).layer(0).k;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(0, query(rng, k)));
+  engine.drain();
+
+  std::size_t ok = 0, expired = 0;
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    ASSERT_TRUE(resp.status == RequestStatus::kOk ||
+                resp.status == RequestStatus::kDeadline)
+        << to_string(resp.status) << ": " << resp.error;
+    resp.status == RequestStatus::kOk ? ++ok : ++expired;
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(expired, 0u)
+      << "a 40 ms kernel with 100 ms deadlines over 8 serial batches must "
+         "expire the tail";
+  const auto m = engine.metrics();
+  EXPECT_EQ(m.ok + m.expired, 8u);
+}
+
+TEST(ServingEngine, ValidatesOptions) {
+  ServingOptions bad;
+  bad.max_queue_depth = 0;
+  EXPECT_THROW(ServingEngine(compile_tiny(), bad), Error);
+  ServingOptions bad_batch;
+  bad_batch.max_batch = 0;
+  EXPECT_THROW(ServingEngine(compile_tiny(), bad_batch), Error);
+  EXPECT_THROW(ServingEngine(std::vector<CompiledNetwork>{}, {}), Error);
+}
+
+TEST(ServingEngine, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(RequestStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(RequestStatus::kInvalid), "invalid");
+  EXPECT_STREQ(to_string(RequestStatus::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(RequestStatus::kShed), "shed");
+  EXPECT_STREQ(to_string(RequestStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace tasd::rt
