@@ -28,9 +28,17 @@ class Timer {
   clock::time_point start_;
 };
 
-/// Best (minimum) wall-clock milliseconds of `fn` over `repeats` runs —
-/// the measurement rule the engine and the benches share.
-inline double time_ms_min(int repeats, const std::function<void()>& fn) {
+/// Best (minimum) wall-clock milliseconds of `fn` over `repeats` timed
+/// runs, after `warmup` untimed runs — the one measurement rule the
+/// engine's measure()/serving_throughput() and every bench share. The
+/// warm-up run faults code and data (instruction cache, branch
+/// predictors, lazily-allocated output buffers, thread-pool wake-up)
+/// out of the first *timed* run, so single-digit-repeat measurements —
+/// exactly the regime where the pipelined-vs-sequential deltas at GEMV
+/// widths live — are not dominated by one cold first iteration.
+inline double time_ms_min(int repeats, const std::function<void()>& fn,
+                          int warmup = 1) {
+  for (int w = 0; w < warmup; ++w) fn();
   double best = 1e300;
   for (int r = 0; r < repeats; ++r) {
     Timer t;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "dnn/pruning.hpp"
 #include "sparse/view.hpp"
@@ -203,6 +204,45 @@ NetworkWorkload bert_workload(bool sparse_weights, std::uint64_t seed) {
     } else {
       l.act_pseudo_density = 0.76;
       if (l.name != "enc.fc1") l.tasd_a_eligible = false;
+    }
+  }
+  return std::move(b.net);
+}
+
+NetworkWorkload decode_step_workload(Index hidden, Index kv_len,
+                                     bool sparse_weights, std::uint64_t seed) {
+  TASD_CHECK_MSG(hidden >= 1 && kv_len >= 1,
+                 "decode_step_workload needs hidden >= 1 and kv_len >= 1");
+  Builder b;
+  b.net.name = (sparse_weights ? "sparse_decode_h" : "dense_decode_h") +
+               std::to_string(hidden) + "_kv" + std::to_string(kv_len);
+  b.net.sparse_weights = sparse_weights;
+  b.seed = seed + 29;
+  b.global_weight_sparsity = sparse_weights ? 0.90 : 0.0;
+  b.expected_layers = 6;
+  b.relu_net = false;  // GELU MLP: dense activations
+
+  const Index h = hidden;
+  // The chain invariant (layer k == previous layer m) is what makes the
+  // stack a run_network/PipelinedExecutor input: q_proj (hxh) feeds
+  // scores (kv x h, the K cache as weight), which feeds value mixing
+  // (h x kv, V transposed), then out_proj and the MLP pair.
+  b.add("dec.q_proj", h, h, 1);
+  b.add("dec.scores", kv_len, h, 1);
+  b.add("dec.attn_v", h, kv_len, 1);
+  b.add("dec.out_proj", h, h, 1);
+  b.add("dec.mlp_up", 4 * h, h, 1);
+  b.add("dec.mlp_down", h, 4 * h, 1);
+  for (auto& l : b.net.layers) {
+    if (l.name == "dec.scores" || l.name == "dec.attn_v") {
+      // KV-cache operands are activations, not weights: always dense,
+      // never a TASD conversion target.
+      l.weight_density = 1.0;
+      l.tasd_a_eligible = false;
+    } else if (l.name == "dec.q_proj" || l.name == "dec.out_proj") {
+      // Attention projections consume LayerNorm outputs: excluded from
+      // TASD-A per Fig. 8. (The MLP pair stays eligible.)
+      l.tasd_a_eligible = false;
     }
   }
   return std::move(b.net);

@@ -64,6 +64,20 @@ NetworkWorkload resnet34_workload(bool sparse_weights, std::uint64_t seed);
 /// BERT-base: 12 encoders, hidden 768, sequence length 128.
 NetworkWorkload bert_workload(bool sparse_weights, std::uint64_t seed);
 
+/// One autoregressive transformer decode step at a given KV-cache
+/// length: query projection, attention scores against the K cache,
+/// value mixing, output projection, then the MLP pair. Every layer has
+/// n = 1 (a single token's activations) and chains — each layer's K
+/// equals the previous layer's M — so the stack runs end-to-end through
+/// CompiledNetwork::run_network and rt::PipelinedExecutor. This is the
+/// GEMV serving regime where per-layer dispatch overhead dominates
+/// arithmetic. `sparse_weights` prunes the four projection/MLP weights
+/// (90 %, BERT profile); the score/value layers are the KV cache itself
+/// — dense activations, never pruned, and not TASD-A targets (attention
+/// exclusion, paper §4.3 / Fig. 8).
+NetworkWorkload decode_step_workload(Index hidden, Index kv_len,
+                                     bool sparse_weights, std::uint64_t seed);
+
 /// The paper's Table 4 representative layers (L1/L2/L3 per workload).
 /// Names are "<workload>/L<i>".
 std::vector<GemmWorkload> table4_layers();

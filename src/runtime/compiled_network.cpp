@@ -45,6 +45,11 @@ std::vector<std::size_t> conversion_order(
   return order;
 }
 
+Index measured_n(Index n, Index n_divisor) {
+  return std::max<Index>({Index{1}, (n + n_divisor / 2) / n_divisor,
+                          std::min<Index>(n, n_divisor - 1)});
+}
+
 const CompiledNetwork::BoundLayer& CompiledNetwork::layer(
     std::size_t i) const {
   TASD_CHECK_MSG(i < layers_.size(), "layer index " << i << " out of range ("
@@ -123,6 +128,33 @@ std::vector<MatrixF> CompiledNetwork::run_batch(
                   : dense_gemm_batch(l.weight, inputs, p);
 }
 
+bool CompiledNetwork::is_chain() const {
+  for (std::size_t i = 1; i < layers_.size(); ++i)
+    if (layers_[i].k != layers_[i - 1].m) return false;
+  return true;
+}
+
+MatrixF CompiledNetwork::run_network(const MatrixF& input) const {
+  TASD_CHECK_MSG(!layers_.empty(), "run_network on an empty artifact");
+  TASD_CHECK_MSG(is_chain(),
+                 "run_network requires a layer chain (every layer's k == "
+                 "previous layer's m)");
+  MatrixF act = run(0, input);
+  for (std::size_t l = 1; l < layers_.size(); ++l) act = run(l, act);
+  return act;
+}
+
+std::vector<MatrixF> CompiledNetwork::run_network_batch(
+    std::span<const MatrixF> inputs) const {
+  TASD_CHECK_MSG(!layers_.empty(), "run_network_batch on an empty artifact");
+  TASD_CHECK_MSG(is_chain(),
+                 "run_network_batch requires a layer chain (every layer's "
+                 "k == previous layer's m)");
+  std::vector<MatrixF> acts = run_batch(0, inputs);
+  for (std::size_t l = 1; l < layers_.size(); ++l) acts = run_batch(l, acts);
+  return acts;
+}
+
 std::vector<LayerTiming> CompiledNetwork::measure() const {
   Rng rng(opt_.measure.data_seed);
   const ExecPolicy p = policy();
@@ -139,9 +171,7 @@ std::vector<LayerTiming> CompiledNetwork::measure() const {
     // measured N is monotone in layer.n (no cliff at layer.n ==
     // n_divisor), and above the floor region it is exactly proportional
     // to the true N, so cross-layer savings rankings are preserved.
-    t.n = std::max<Index>(
-        {Index{1}, (l.n + opt_.n_divisor / 2) / opt_.n_divisor,
-         std::min<Index>(l.n, opt_.n_divisor - 1)});
+    t.n = measured_n(l.n, opt_.n_divisor);
     t.config = l.config;
     t.kept_nnz_fraction = l.kept_nnz_fraction;
 

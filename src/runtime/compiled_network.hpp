@@ -101,6 +101,14 @@ double network_latency_ms(const std::vector<LayerTiming>& timings,
 std::vector<std::size_t> conversion_order(
     const std::vector<LayerTiming>& timings);
 
+/// The shrunk measurement width measure() uses for a layer with `n`
+/// full-scale positions under a given n_divisor: rounded division with
+/// a floor of min(n, n_divisor - 1) — monotone in n, never zero (see
+/// CompileOptions::n_divisor). Shared with compile_and_measure
+/// (runtime/pipelined_executor.hpp) so both measurement paths shrink
+/// identically.
+Index measured_n(Index n, Index n_divisor);
+
 /// Serving throughput of a whole network at one batch size: the batch
 /// latency is the sum of per-layer batched kernel times (layer-serial,
 /// like network_latency_ms), and queries/sec follows directly.
@@ -202,6 +210,28 @@ class CompiledNetwork {
   /// items, at every thread count and batch size.
   [[nodiscard]] std::vector<MatrixF> run_batch(
       std::size_t layer_index, std::span<const MatrixF> inputs) const;
+
+  /// True when the artifact's layers form an executable chain: every
+  /// layer's reduction dimension equals the previous layer's output
+  /// dimension (layer(L).k == layer(L-1).m), so run_network() is defined.
+  /// Trivially true for empty and single-layer artifacts.
+  [[nodiscard]] bool is_chain() const;
+
+  /// Execute the whole network on one input: feed `input` through layer
+  /// 0, its output through layer 1, and so on — the strictly sequential
+  /// whole-network forward. Requires is_chain(). Bit-identical to calling
+  /// run() layer by layer (it is exactly that loop).
+  [[nodiscard]] MatrixF run_network(const MatrixF& input) const;
+
+  /// Execute the whole network on a batch of inputs (ragged widths
+  /// allowed), layer-major with a full barrier per layer: every item
+  /// finishes layer L (one run_batch call) before any item starts layer
+  /// L+1. This is the sequential baseline the PipelinedExecutor
+  /// (runtime/pipelined_executor.hpp) overlaps; outputs are bit-identical
+  /// to looping run_network() per item at every thread count (the batch
+  /// kernels' contract).
+  [[nodiscard]] std::vector<MatrixF> run_network_batch(
+      std::span<const MatrixF> inputs) const;
 
   /// Measure every layer (dense kernel, and the TASD series where bound)
   /// at the compile-time n_divisor shrink: the Fig. 16 per-layer report.

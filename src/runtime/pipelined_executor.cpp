@@ -1,0 +1,226 @@
+#include "runtime/pipelined_executor.hpp"
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "runtime/dense_gemm.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+
+PipelinedExecutor::PipelinedExecutor(const CompiledNetwork& net) : net_(net) {
+  TASD_CHECK_MSG(net.layer_count() >= 1,
+                 "PipelinedExecutor needs at least one layer");
+  for (std::size_t l = 1; l < net.layer_count(); ++l) {
+    const auto& prev = net.layer(l - 1);
+    const auto& cur = net.layer(l);
+    if (cur.k != prev.m) {
+      throw Error(Error::Code::kFailedPrecondition,
+                  "layers do not chain: layer '" + cur.name + "' expects a " +
+                      std::to_string(cur.k) +
+                      "-row input but layer '" + prev.name + "' produces " +
+                      std::to_string(prev.m) + " rows");
+    }
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> PipelinedExecutor::chunks(
+    std::size_t items) const {
+  if (items == 0) return {};
+  std::size_t count = 1;
+  if (!pipelining_is_noop(items)) {
+    // One chunk per pool worker, capped at one item per chunk: enough
+    // chunks that every worker has a pipeline stage to run, and no more
+    // — each extra chunk repeats the per-layer weight traversal its
+    // batch kernel would otherwise amortize.
+    count = std::min(items, resolve_pool(net_.policy()).num_threads());
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(count);
+  const std::size_t base = items / count;
+  const std::size_t extra = items % count;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t size = base + (c < extra ? 1 : 0);
+    out.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return out;
+}
+
+std::vector<PipelinedExecutor::ScheduleNode> PipelinedExecutor::schedule(
+    std::size_t items) const {
+  const std::size_t layers = net_.layer_count();
+  const std::size_t count = chunks(items).size();
+  std::vector<ScheduleNode> nodes;
+  nodes.reserve(count * layers);
+  for (std::size_t c = 0; c < count; ++c) {
+    for (std::size_t l = 0; l < layers; ++l) {
+      ScheduleNode node;
+      node.chunk = c;
+      node.layer = l;
+      if (l > 0) node.deps.push_back(nodes.size() - 1);
+      nodes.push_back(std::move(node));
+    }
+  }
+  return nodes;
+}
+
+bool PipelinedExecutor::pipelining_is_noop(std::size_t items) const {
+  return items < 2 || net_.layer_count() < 2 ||
+         resolve_pool(net_.policy()).num_threads() < 2;
+}
+
+MatrixF PipelinedExecutor::run(const MatrixF& input) const {
+  return net_.run_network(input);
+}
+
+std::vector<MatrixF> PipelinedExecutor::run_batch(
+    std::span<const MatrixF> inputs) const {
+  if (inputs.empty()) return {};
+  // Degenerate schedules carry no overlappable work: execute the
+  // sequential path, which performs the same arithmetic (bit-identical
+  // by the batched-equals-looped kernel contract).
+  if (pipelining_is_noop(inputs.size()))
+    return net_.run_network_batch(inputs);
+
+  const std::size_t layers = net_.layer_count();
+  const auto ranges = chunks(inputs.size());
+  // Two activation buffers per chunk, ping-ponged between layers:
+  // layer l reads slot[l % 2] (layer 0 reads the caller's inputs) and
+  // writes slot[(l + 1) % 2]. Only one node per chunk is ever in
+  // flight (the chain edge), so reader and writer never race, and each
+  // chunk holds at most two activation sets however deep the network.
+  std::vector<std::array<std::vector<MatrixF>, 2>> slots(ranges.size());
+
+  TaskGraph graph;
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    TaskGraph::TaskId prev = 0;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const std::vector<TaskGraph::TaskId> deps =
+          l == 0 ? std::vector<TaskGraph::TaskId>{}
+                 : std::vector<TaskGraph::TaskId>{prev};
+      prev = graph.add(
+          [this, &inputs, &slots, &ranges, c, l] {
+            const std::span<const MatrixF> src =
+                l == 0 ? inputs.subspan(ranges[c].first,
+                                        ranges[c].second - ranges[c].first)
+                       : std::span<const MatrixF>(slots[c][l % 2]);
+            // The artifact's own bound batch kernel on this chunk; its
+            // nested parallel_for runs inline on the claiming worker,
+            // so the node is one serial kernel call and overlap happens
+            // across nodes, never inside one.
+            slots[c][(l + 1) % 2] = net_.run_batch(l, src);
+          },
+          deps);
+    }
+  }
+  graph.run(resolve_pool(net_.policy()));
+
+  std::vector<MatrixF> out;
+  out.reserve(inputs.size());
+  for (std::size_t c = 0; c < ranges.size(); ++c)
+    for (MatrixF& m : slots[c][layers % 2]) out.push_back(std::move(m));
+  return out;
+}
+
+CompileMeasureResult compile_and_measure(
+    const dnn::NetworkWorkload& net,
+    const std::vector<std::optional<TasdConfig>>& configs,
+    const CompileOptions& opt) {
+  TASD_CHECK_MSG(configs.size() == net.layers.size(),
+                 "config list must align with workload layers");
+  TASD_CHECK_MSG(opt.measure.use_plan_cache,
+                 "compile_and_measure requires the plan cache (prewarmed "
+                 "plans reach the compile step through it)");
+  TASD_CHECK_MSG(opt.n_divisor >= 1, "n_divisor must be >= 1");
+
+  auto bindings = dnn::bind_layers(net, configs);
+
+  // Resolve the measurement policy the artifact will use, so the timed
+  // kernels here are the ones run()/measure() will bind.
+  const auto& dispatch = GemmDispatch::instance();
+  ExecPolicy policy;
+  policy.dense_kernel = opt.dense_kernel == "auto" ? dispatch.best_dense()
+                                                   : opt.dense_kernel;
+  policy.nm_kernel =
+      opt.nm_kernel == "auto" ? dispatch.best_nm() : opt.nm_kernel;
+  std::unique_ptr<ThreadPool> dedicated;
+  if (opt.measure.num_threads != 0)
+    dedicated = std::make_unique<ThreadPool>(opt.measure.num_threads);
+  ThreadPool& pool = dedicated ? *dedicated : default_pool();
+  policy.pool = &pool;
+
+  // Pre-generate every layer's measurement input with the same one Rng
+  // stream measure() draws from, in layer order, so the data is
+  // identical whichever path measured it.
+  Rng rng(opt.measure.data_seed);
+  std::vector<MatrixF> bs;
+  std::vector<LayerTiming> timings(bindings.size());
+  bs.reserve(bindings.size());
+  for (std::size_t l = 0; l < bindings.size(); ++l) {
+    LayerTiming& t = timings[l];
+    t.name = bindings[l].name;
+    t.m = bindings[l].weight.rows();
+    t.k = bindings[l].weight.cols();
+    t.n = measured_n(bindings[l].positions, opt.n_divisor);
+    t.config = bindings[l].config;
+    bs.push_back(random_dense(t.k, t.n, Dist::kNormalStd1, rng));
+  }
+
+  // The overlap graph: prewarm node P_l per configured layer (the
+  // layer's one decomposition, through the shared cache), measurement
+  // node M_l depending on {P_l, M_{l-1}} — measurements stay mutually
+  // serialized so they never time each other's noise, while spare
+  // workers decompose layers the measurement pass has not reached yet.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::shared_ptr<const DecompositionPlan>> plans(bindings.size());
+  TaskGraph graph;
+  std::size_t prev_measure = kNone;
+  volatile float sink = 0.0F;  // defeat dead-code elimination
+  for (std::size_t l = 0; l < bindings.size(); ++l) {
+    std::size_t prewarm = kNone;
+    if (bindings[l].config) {
+      prewarm = graph.add([&bindings, &plans, l] {
+        plans[l] =
+            plan_cache().get_or_build(bindings[l].weight, *bindings[l].config);
+      });
+    }
+    std::vector<TaskGraph::TaskId> deps;
+    if (prewarm != kNone) deps.push_back(prewarm);
+    if (prev_measure != kNone) deps.push_back(prev_measure);
+    prev_measure = graph.add(
+        [&bindings, &plans, &bs, &timings, &policy, &opt, &sink, l] {
+          LayerTiming& t = timings[l];
+          t.dense_ms = time_ms_min(opt.measure.repeats, [&] {
+            const MatrixF c = dense_gemm(bindings[l].weight, bs[l], policy);
+            sink = sink + c(0, 0);
+          });
+          if (plans[l]) {
+            const TasdSeriesGemm series(plans[l]);
+            t.kept_nnz_fraction =
+                static_cast<double>(series.nnz()) /
+                static_cast<double>(bindings[l].weight.size());
+            t.tasd_ms = time_ms_min(opt.measure.repeats, [&] {
+              const MatrixF c = series.multiply(bs[l], policy);
+              sink = sink + c(0, 0);
+            });
+          }
+        },
+        deps);
+  }
+  graph.run(pool);
+
+  // Every configured layer's plan is now cached: this compile performs
+  // zero decompositions and the artifact meets the usual prewarm
+  // contract.
+  CompileMeasureResult result{compile(net.name, std::move(bindings), opt),
+                              std::move(timings)};
+  return result;
+}
+
+}  // namespace tasd::rt

@@ -1,0 +1,132 @@
+// Pipelined schedule-aware execution over a CompiledNetwork artifact.
+//
+// The sequential whole-network paths (CompiledNetwork::run_network /
+// run_network_batch) put a full barrier after every layer: all batch
+// items finish layer L before any item starts layer L+1, and every
+// barrier is a thread-pool fork/join. At serving widths (query_cols=1,
+// the GEMV regime where BENCH_serving.json found the dense-avx2 vs TASD
+// crossover) the kernels are so small that those per-layer fork/joins
+// dominate and the pool sits idle between layers.
+//
+// PipelinedExecutor replaces the barriers with an explicit schedule
+// (common/parallel.hpp TaskGraph) derived from the artifact's layer
+// bindings at construction. The batch is split into one contiguous
+// chunk per pool worker (a chunk is a single item when workers >=
+// items); the schedule has one node per (chunk, layer) and one
+// dependency edge per chunk from its layer L-1 node. Independent nodes
+// run concurrently, so layer L+1 of chunk c overlaps layer L of chunk
+// c+1 — software pipelining across batch items — and one batch costs a
+// single pool fork/join instead of one per layer. Within a chunk each
+// node runs the artifact's packed batch kernel, so the per-layer
+// weight-traversal cost (the dominant cost at GEMV widths) is still
+// amortized over the chunk's items.
+//
+// Contract (see docs/executor.md):
+//  * Bit-exactness — the schedule reorders *which* independent (chunk,
+//    layer) tasks run concurrently, never the accumulation order inside
+//    a kernel: each node executes the artifact's own bound batch kernel
+//    (CompiledNetwork::run_batch) on its chunk, and the registry's
+//    batched-equals-looped contract makes any partition of the batch
+//    bit-identical to the whole. run_batch() therefore equals
+//    run_network_batch() — and looping run_network() per item — bit for
+//    bit at every thread count, batch size, and chunking.
+//  * Double-buffered activations — each in-flight chunk owns two
+//    activation buffers, ping-ponged between consecutive layers: layer
+//    L reads one and writes the other, so no node ever reads a buffer
+//    another node is writing, and memory stays at two activation sets
+//    per chunk regardless of network depth.
+//  * Degenerate schedules — a single-layer network, a single-item
+//    batch, or a serial pool admits no overlap (pipelining_is_noop());
+//    run_batch falls back to the sequential path, which executes the
+//    same arithmetic.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "runtime/compiled_network.hpp"
+
+namespace tasd::rt {
+
+/// Schedule-aware executor over an immutable artifact. Holds a
+/// reference: the CompiledNetwork must outlive the executor.
+class PipelinedExecutor {
+ public:
+  /// Derives the layer-dependency schedule from `net`'s bindings.
+  /// Throws tasd::Error unless the artifact's layers form a chain
+  /// (layer L's k == layer L-1's m — see CompiledNetwork::is_chain).
+  explicit PipelinedExecutor(const CompiledNetwork& net);
+
+  [[nodiscard]] const CompiledNetwork& network() const { return net_; }
+
+  /// One node of the explicit schedule: execute `layer` on batch chunk
+  /// `chunk` once every node in `deps` has finished.
+  struct ScheduleNode {
+    std::size_t chunk = 0;
+    std::size_t layer = 0;
+    std::vector<std::size_t> deps;  ///< indices into the schedule vector
+  };
+
+  /// The contiguous [begin, end) item ranges run_batch would pipeline
+  /// for `items` batch items: min(items, pool workers) balanced chunks
+  /// (every chunk is a single item once workers >= items), or one chunk
+  /// when the schedule is a no-op.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> chunks(
+      std::size_t items) const;
+
+  /// The explicit schedule run_batch would execute for `items` batch
+  /// items: nodes in submission order (chunk-major), one chain edge per
+  /// (chunk, layer > 0). Exposed for tests and tooling; run_batch
+  /// executes exactly this graph.
+  [[nodiscard]] std::vector<ScheduleNode> schedule(std::size_t items) const;
+
+  /// True when the schedule admits no inter-task overlap: fewer than two
+  /// items, fewer than two layers, or a serial pool. run_batch then uses
+  /// the sequential path directly.
+  [[nodiscard]] bool pipelining_is_noop(std::size_t items) const;
+
+  /// Sequential whole-network forward of one input — delegates to
+  /// CompiledNetwork::run_network (the reference path).
+  [[nodiscard]] MatrixF run(const MatrixF& input) const;
+
+  /// Execute the batch through the pipelined schedule. Output is
+  /// bit-identical to net.run_network_batch(inputs) — and to looping
+  /// run() per item — at every thread count and batch size; ragged
+  /// item widths are allowed.
+  [[nodiscard]] std::vector<MatrixF> run_batch(
+      std::span<const MatrixF> inputs) const;
+
+ private:
+  const CompiledNetwork& net_;
+};
+
+/// compile() + measure() with plan prewarm overlapped with the first
+/// measurement pass: a TaskGraph runs one prewarm node per configured
+/// layer (the layer's one decomposition, through the process-wide
+/// PlanCache) concurrently with a serialized chain of per-layer
+/// measurement nodes, so later layers decompose while earlier layers
+/// are being timed instead of strictly before. The returned artifact is
+/// compiled after the graph drains and finds every plan cached — the
+/// compile-once contract (zero decompositions at execution, at most one
+/// per layer overall) is unchanged.
+///
+/// Measurement semantics differ from CompiledNetwork::measure() in one
+/// documented way: each timed kernel runs single-threaded (its
+/// parallel_for runs inline inside the graph) while spare workers
+/// decompose upcoming layers — per-layer times are serial costs, so
+/// absolute numbers are larger at num_threads > 1 but the dense/TASD
+/// ratios and cross-layer rankings Fig. 16 consumes are preserved.
+/// Requires opt.measure.use_plan_cache (the cache is how prewarmed
+/// plans reach the compile step).
+struct CompileMeasureResult {
+  CompiledNetwork network;
+  std::vector<LayerTiming> timings;
+};
+
+CompileMeasureResult compile_and_measure(
+    const dnn::NetworkWorkload& net,
+    const std::vector<std::optional<TasdConfig>>& configs,
+    const CompileOptions& opt = {});
+
+}  // namespace tasd::rt

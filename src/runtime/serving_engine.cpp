@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
@@ -92,6 +93,41 @@ std::size_t ServingEngine::queue_depth() const {
   return queue_.size();
 }
 
+void ServingEngine::enqueue(Request req) {
+  std::optional<std::string> shed_reason;
+  {
+    std::unique_lock lock(mu_);
+    models_[req.model].submitted++;
+    if (draining_) {
+      shed_reason = "engine is draining";
+    } else if (queue_.size() >= opt_.max_queue_depth) {
+      if (opt_.overflow == ServingOptions::Overflow::kReject) {
+        shed_reason = "queue full (depth " + std::to_string(queue_.size()) +
+                      ", policy reject)";
+      } else {
+        space_cv_.wait(lock, [&] {
+          return draining_ || queue_.size() < opt_.max_queue_depth;
+        });
+        if (draining_) shed_reason = "engine drained while blocked on queue space";
+      }
+    }
+    if (!shed_reason) {
+      PerModel& pm = models_[req.model];
+      pm.queued++;
+      pm.peak_queued = std::max(pm.peak_queued, pm.queued);
+      queue_.push_back(std::move(req));
+    }
+  }
+  if (shed_reason) {
+    Response resp;
+    resp.status = RequestStatus::kShed;
+    resp.error = *shed_reason;
+    resolve(req, std::move(resp));
+  } else {
+    work_cv_.notify_one();
+  }
+}
+
 std::future<Response> ServingEngine::submit(
     std::size_t model_index, std::size_t layer_index, MatrixF input,
     std::optional<std::chrono::microseconds> deadline) {
@@ -107,38 +143,7 @@ std::future<Response> ServingEngine::submit(
   if (effective.count() > 0) req.deadline = req.submit_time + effective;
 
   std::future<Response> future = req.promise.get_future();
-  std::optional<std::string> shed_reason;
-  {
-    std::unique_lock lock(mu_);
-    models_[model_index].submitted++;
-    if (draining_) {
-      shed_reason = "engine is draining";
-    } else if (queue_.size() >= opt_.max_queue_depth) {
-      if (opt_.overflow == ServingOptions::Overflow::kReject) {
-        shed_reason = "queue full (depth " + std::to_string(queue_.size()) +
-                      ", policy reject)";
-      } else {
-        space_cv_.wait(lock, [&] {
-          return draining_ || queue_.size() < opt_.max_queue_depth;
-        });
-        if (draining_) shed_reason = "engine drained while blocked on queue space";
-      }
-    }
-    if (!shed_reason) {
-      PerModel& pm = models_[model_index];
-      pm.queued++;
-      pm.peak_queued = std::max(pm.peak_queued, pm.queued);
-      queue_.push_back(std::move(req));
-    }
-  }
-  if (shed_reason) {
-    Response resp;
-    resp.status = RequestStatus::kShed;
-    resp.error = *shed_reason;
-    resolve(req, std::move(resp));
-  } else {
-    work_cv_.notify_one();
-  }
+  enqueue(std::move(req));
   return future;
 }
 
@@ -146,6 +151,30 @@ std::future<Response> ServingEngine::submit(
     std::size_t layer_index, MatrixF input,
     std::optional<std::chrono::microseconds> deadline) {
   return submit(0, layer_index, std::move(input), deadline);
+}
+
+void ServingEngine::submit_async(
+    std::size_t model_index, std::size_t layer_index, MatrixF input,
+    Callback on_done, std::optional<std::chrono::microseconds> deadline) {
+  TASD_CHECK_MSG(model_index < models_.size(),
+                 "model index " << model_index << " out of range ("
+                                << models_.size() << " models)");
+  TASD_CHECK_MSG(on_done != nullptr, "submit_async needs a completion callback");
+  Request req;
+  req.callback = std::move(on_done);
+  req.model = model_index;
+  req.layer = layer_index;
+  req.input = std::move(input);
+  req.submit_time = Clock::now();
+  const auto effective = deadline.value_or(opt_.default_deadline);
+  if (effective.count() > 0) req.deadline = req.submit_time + effective;
+  enqueue(std::move(req));
+}
+
+void ServingEngine::submit_async(
+    std::size_t layer_index, MatrixF input, Callback on_done,
+    std::optional<std::chrono::microseconds> deadline) {
+  submit_async(0, layer_index, std::move(input), std::move(on_done), deadline);
 }
 
 void ServingEngine::drain() {
@@ -214,13 +243,45 @@ void ServingEngine::resolve(Request& req, Response response) {
       case RequestStatus::kFailed: pm.failed++; break;
     }
   }
-  req.promise.set_value(std::move(response));
+  // Delivery happens outside mu_: a callback (or a future-waiter woken
+  // by set_value) may immediately call metrics()/queue_depth().
+  if (req.callback) {
+    try {
+      req.callback(std::move(response));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[tasd serving] submit_async callback threw (%s); "
+                   "callbacks must not throw\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "[tasd serving] submit_async callback threw; "
+                   "callbacks must not throw\n");
+    }
+  } else {
+    req.promise.set_value(std::move(response));
+  }
+}
+
+EngineMetrics ServingEngine::engine_metrics() const {
+  EngineMetrics out;
+  std::lock_guard lock(mu_);
+  out.busy_ms = batcher_busy_ms_;
+  out.idle_ms = batcher_idle_ms_;
+  out.groups = groups_;
+  const double total = out.busy_ms + out.idle_ms;
+  out.occupancy = total > 0.0 ? out.busy_ms / total : 0.0;
+  return out;
 }
 
 void ServingEngine::batcher_main() {
   std::unique_lock lock(mu_);
   for (;;) {
+    // Idle: waiting for work to arrive. The accumulators are written
+    // while mu_ is held (the wait reacquires it before returning).
+    const auto idle_start = Clock::now();
     work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+    batcher_idle_ms_ += ms_between(idle_start, Clock::now());
     if (queue_.empty()) {
       if (draining_) return;
       continue;
@@ -241,10 +302,14 @@ void ServingEngine::batcher_main() {
       auto wait_end = queue_.front().submit_time + opt_.admission_window;
       if (queue_.front().deadline && *queue_.front().deadline < wait_end)
         wait_end = *queue_.front().deadline;
+      // Also idle: deliberately holding the window open for batchmates.
+      const auto window_start = Clock::now();
       work_cv_.wait_until(lock, wait_end, [&] {
         return draining_ || matching() >= opt_.max_batch;
       });
+      batcher_idle_ms_ += ms_between(window_start, Clock::now());
     }
+    const auto busy_start = Clock::now();
     // Dequeue up to max_batch requests with the head's (model, layer),
     // preserving arrival order of everything else.
     std::vector<Request> group;
@@ -266,6 +331,10 @@ void ServingEngine::batcher_main() {
     space_cv_.notify_all();
     execute_group(std::move(group));
     lock.lock();
+    // Busy: dequeue + execute of one coalesced group (callback delivery
+    // included — it runs on this thread).
+    batcher_busy_ms_ += ms_between(busy_start, Clock::now());
+    groups_++;
   }
 }
 

@@ -44,6 +44,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -99,6 +100,19 @@ struct Response {
   std::size_t batch_size = 0;  ///< coalesced batch it executed in (0 = never ran)
 };
 
+/// Engine-wide batcher accounting: where the single batcher thread's
+/// wall clock went. Busy time covers dequeue + execute of coalesced
+/// groups; idle time covers waiting for work or for the admission
+/// window. occupancy = busy / (busy + idle) — the pipeline-occupancy
+/// number that makes an overlap win (or a starved batcher) observable;
+/// see docs/serving.md § Metrics.
+struct EngineMetrics {
+  double busy_ms = 0.0;
+  double idle_ms = 0.0;
+  double occupancy = 0.0;        ///< 0 when the batcher has not run yet
+  std::uint64_t groups = 0;      ///< coalesced groups executed
+};
+
 /// Counters and latency digest for one resident model.
 struct ModelMetrics {
   std::string model;
@@ -149,6 +163,30 @@ class ServingEngine {
       std::size_t layer_index, MatrixF input,
       std::optional<std::chrono::microseconds> deadline = std::nullopt);
 
+  /// A completion callback: invoked exactly once with the request's
+  /// definite Response. Callbacks must not throw; a throwing callback
+  /// is caught and reported to stderr, never propagated.
+  using Callback = std::function<void(Response)>;
+
+  /// Continuation-style submit: like submit(), but the Response is
+  /// delivered to `on_done` instead of a future, so a caller with many
+  /// requests in flight burns zero blocked threads waiting on .get().
+  /// The callback runs on the batcher thread (or inline on the
+  /// submitting thread when the request is shed at submit time), so it
+  /// must be brief and must not call drain() or block on other
+  /// futures/submissions of the same engine. Every admission, deadline,
+  /// overflow, and fault rule of submit() applies unchanged — including
+  /// Overflow::kBlock backpressure blocking the submitting thread.
+  void submit_async(
+      std::size_t model_index, std::size_t layer_index, MatrixF input,
+      Callback on_done,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt);
+
+  /// Single-model convenience: submit_async against models()[0].
+  void submit_async(
+      std::size_t layer_index, MatrixF input, Callback on_done,
+      std::optional<std::chrono::microseconds> deadline = std::nullopt);
+
   /// Stop admitting, flush or fail everything still queued, join the
   /// batcher. Idempotent; called by the destructor. After drain(),
   /// submit() resolves every request with kShed.
@@ -164,11 +202,15 @@ class ServingEngine {
   /// Snapshot of one model's counters and latency digest.
   [[nodiscard]] ModelMetrics metrics(std::size_t model_index = 0) const;
 
+  /// Snapshot of the batcher's busy/idle accounting (all models).
+  [[nodiscard]] EngineMetrics engine_metrics() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
   struct Request {
-    std::promise<Response> promise;
+    std::promise<Response> promise;  ///< unused in callback mode
+    Callback callback;               ///< empty in future mode
     std::size_t model = 0;
     std::size_t layer = 0;
     MatrixF input;
@@ -196,6 +238,8 @@ class ServingEngine {
   };
 
   void batcher_main();
+  /// Shared admission path of submit()/submit_async(): enqueue or shed.
+  void enqueue(Request req);
   /// Execute one coalesced group (dequeue-time expiry, per-request
   /// validation, batched execution with per-request fallback). Called
   /// without locks held; takes them as needed for metrics.
@@ -211,6 +255,11 @@ class ServingEngine {
   std::condition_variable work_cv_;   ///< batcher waits: work or stop
   std::condition_variable space_cv_;  ///< kBlock submitters wait: space
   std::deque<Request> queue_;
+  /// Batcher wall-clock accounting (guarded by mu_): time spent waiting
+  /// on work_cv_ vs dequeuing + executing groups.
+  double batcher_idle_ms_ = 0.0;
+  double batcher_busy_ms_ = 0.0;
+  std::uint64_t groups_ = 0;
   bool draining_ = false;
   std::mutex drain_mu_;  ///< serializes the join (drain vs destructor)
   std::thread batcher_;

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace tasd::rt {
+namespace {
+
+TEST(TaskGraph, EmptyGraphRuns) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  EXPECT_EQ(graph.size(), 0u);
+  EXPECT_NO_THROW(graph.run(pool));
+}
+
+TEST(TaskGraph, EveryTaskRunsExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    TaskGraph graph;
+    std::vector<std::atomic<int>> runs(32);
+    for (std::size_t i = 0; i < runs.size(); ++i)
+      graph.add([&runs, i] { runs[i]++; });
+    graph.run(pool);
+    for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+  }
+}
+
+TEST(TaskGraph, DependenciesFinishBeforeDependents) {
+  // A chain per "item" (the pipelined executor's shape): each task
+  // asserts its predecessor's completion flag. Run under a wide pool so
+  // a scheduling bug would race.
+  ThreadPool pool(8);
+  TaskGraph graph;
+  constexpr std::size_t kItems = 6;
+  constexpr std::size_t kLayers = 5;
+  std::atomic<bool> done[kItems][kLayers] = {};
+  std::atomic<int> violations{0};
+  for (std::size_t i = 0; i < kItems; ++i) {
+    TaskGraph::TaskId prev = 0;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+      const std::vector<TaskGraph::TaskId> deps =
+          l == 0 ? std::vector<TaskGraph::TaskId>{}
+                 : std::vector<TaskGraph::TaskId>{prev};
+      prev = graph.add(
+          [&, i, l] {
+            if (l > 0 && !done[i][l - 1].load()) violations++;
+            done[i][l] = true;
+          },
+          deps);
+    }
+  }
+  graph.run(pool);
+  EXPECT_EQ(violations.load(), 0);
+  for (const auto& item : done)
+    for (const auto& d : item) EXPECT_TRUE(d.load());
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::atomic<bool> a_done{false};
+  std::atomic<int> mid_done{0};
+  std::atomic<bool> join_saw_both{false};
+  const auto a = graph.add([&] { a_done = true; });
+  const auto b = graph.add(
+      [&] {
+        EXPECT_TRUE(a_done.load());
+        mid_done++;
+      },
+      {a});
+  const auto c = graph.add(
+      [&] {
+        EXPECT_TRUE(a_done.load());
+        mid_done++;
+      },
+      {a});
+  graph.add([&] { join_saw_both = mid_done.load() == 2; }, {b, c});
+  graph.run(pool);
+  EXPECT_TRUE(join_saw_both.load());
+}
+
+TEST(TaskGraph, SerialPoolRunsInlineInIdOrder) {
+  // A serial pool executes on the calling thread in submission order
+  // (restricted to readiness) — the deterministic schedule the
+  // bit-exactness contract leans on at num_threads <= 1.
+  ThreadPool pool(1);
+  TaskGraph graph;
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < 8; ++i)
+    graph.add([&order, i, caller] {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+    });
+  graph.run(pool);
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGraph, TaskBodiesMayCallParallelFor) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::atomic<long> sum{0};
+  for (int t = 0; t < 6; ++t)
+    graph.add([&] {
+      // Nested parallel_for runs inline on the claiming worker.
+      pool.parallel_for(0, 100, 1, [&](std::size_t b, std::size_t e) {
+        long local = 0;
+        for (std::size_t i = b; i < e; ++i) local += static_cast<long>(i);
+        sum += local;
+      });
+    });
+  graph.run(pool);
+  EXPECT_EQ(sum.load(), 6L * (99L * 100L / 2));
+}
+
+TEST(TaskGraph, FirstExceptionRethrownAndDependentsSkipped) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    TaskGraph graph;
+    std::atomic<bool> dependent_ran{false};
+    const auto boom =
+        graph.add([] { throw std::runtime_error("scheduled failure"); });
+    graph.add([&] { dependent_ran = true; }, {boom});
+    EXPECT_THROW(graph.run(pool), std::runtime_error);
+    EXPECT_FALSE(dependent_ran.load());
+  }
+}
+
+TEST(TaskGraph, ExceptionStillDrainsIndependentGraph) {
+  // run() must terminate (done reaches total) even when the first task
+  // fails: successors of skipped tasks are released, not abandoned.
+  ThreadPool pool(2);
+  TaskGraph graph;
+  TaskGraph::TaskId prev =
+      graph.add([] { throw std::runtime_error("head failure"); });
+  for (int i = 0; i < 16; ++i)
+    prev = graph.add([] {}, {prev});
+  EXPECT_THROW(graph.run(pool), std::runtime_error);
+}
+
+TEST(TaskGraph, ForwardDependencyIsRejected) {
+  TaskGraph graph;
+  (void)graph.add([] {});
+  // A task may only depend on already-added tasks (deps < id): the
+  // graph is acyclic by construction.
+  EXPECT_THROW(graph.add([] {}, {5}), Error);
+  EXPECT_THROW(graph.add([] {}, {1}), Error);
+}
+
+TEST(TaskGraph, SingleUse) {
+  ThreadPool pool(2);
+  TaskGraph graph;
+  graph.add([] {});
+  graph.run(pool);
+  EXPECT_THROW(graph.run(pool), Error);
+  EXPECT_THROW(graph.add([] {}), Error);
+}
+
+}  // namespace
+}  // namespace tasd::rt

@@ -1,0 +1,227 @@
+#include "runtime/pipelined_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dnn/workloads.hpp"
+#include "tensor/generator.hpp"
+
+namespace tasd::rt {
+namespace {
+
+/// The decode stack doubles as the executor fixture: six chainable
+/// layers mixing TASD-configured (2:4 projections/MLP) and dense
+/// (KV-cache) bindings at GEMV width.
+dnn::NetworkWorkload chain_net() {
+  return dnn::decode_step_workload(64, 48, true, 515);
+}
+
+std::vector<std::optional<TasdConfig>> chain_configs(
+    const dnn::NetworkWorkload& net) {
+  std::vector<std::optional<TasdConfig>> configs;
+  for (const auto& l : net.layers) {
+    if (l.weight_density < 1.0)
+      configs.emplace_back(TasdConfig::parse("2:4"));
+    else
+      configs.emplace_back(std::nullopt);
+  }
+  return configs;
+}
+
+CompileOptions exec_options(std::size_t num_threads) {
+  CompileOptions opt;
+  opt.query_cols = 1;
+  opt.n_divisor = 1;
+  opt.measure.repeats = 1;
+  opt.measure.num_threads = num_threads;
+  return opt;
+}
+
+/// Ragged batch: item widths cycle 1, 3, 2, ...
+std::vector<MatrixF> ragged_batch(Index k, std::size_t items, Rng& rng) {
+  const Index widths[] = {1, 3, 2};
+  std::vector<MatrixF> out;
+  out.reserve(items);
+  for (std::size_t i = 0; i < items; ++i)
+    out.push_back(random_dense(k, widths[i % 3], Dist::kNormalStd1, rng));
+  return out;
+}
+
+TEST(PipelinedExecutor, RejectsNonChainableNetwork) {
+  dnn::NetworkWorkload net;
+  net.name = "broken-chain";
+  dnn::GemmWorkload a;
+  a.name = "a";
+  a.m = 16;
+  a.k = 8;
+  a.n = 1;
+  a.weight_seed = 91;
+  dnn::GemmWorkload b = a;
+  b.name = "b";
+  b.k = 24;  // != a.m: layer b cannot consume layer a's output
+  b.weight_seed = 92;
+  net.layers = {a, b};
+  const auto engine = compile(net, {std::nullopt, std::nullopt},
+                              exec_options(2));
+  EXPECT_THROW(PipelinedExecutor ex(engine), Error);
+}
+
+TEST(PipelinedExecutor, BitExactAcrossThreadCountsAndBatchShapes) {
+  const auto net = chain_net();
+  const auto configs = chain_configs(net);
+  Rng rng(6061);
+  // 0 = the shared default pool; the rest dedicated pools, including
+  // more workers than this machine has cores and more than some batch
+  // sizes have items.
+  for (const std::size_t threads : {0ul, 1ul, 2ul, 5ul, 8ul}) {
+    const auto engine = compile(net, configs, exec_options(threads));
+    const PipelinedExecutor exec(engine);
+    for (const std::size_t items : {1ul, 2ul, 5ul, 8ul}) {
+      const auto inputs = ragged_batch(engine.layer(0).k, items, rng);
+      const auto sequential = engine.run_network_batch(inputs);
+      const auto pipelined = exec.run_batch(inputs);
+      ASSERT_EQ(pipelined.size(), items);
+      for (std::size_t i = 0; i < items; ++i) {
+        // Bitwise: pipelined == the layer-major batched path == looping
+        // the whole network per item.
+        EXPECT_TRUE(pipelined[i] == sequential[i])
+            << "threads=" << threads << " items=" << items << " item " << i;
+        EXPECT_TRUE(pipelined[i] == engine.run_network(inputs[i]))
+            << "threads=" << threads << " items=" << items << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(PipelinedExecutor, SingleLayerNetworkIsDegenerate) {
+  dnn::NetworkWorkload net;
+  net.name = "single-layer";
+  dnn::GemmWorkload l;
+  l.name = "only";
+  l.m = 24;
+  l.k = 16;
+  l.n = 1;
+  l.weight_density = 0.2;
+  l.weight_seed = 93;
+  net.layers = {l};
+  const auto engine =
+      compile(net, {TasdConfig::parse("2:4")}, exec_options(4));
+  const PipelinedExecutor exec(engine);
+  EXPECT_TRUE(exec.pipelining_is_noop(8));
+  EXPECT_EQ(exec.schedule(8).size(), 1u);  // one chunk x one layer
+
+  Rng rng(6062);
+  const auto inputs = ragged_batch(16, 5, rng);
+  const auto out = exec.run_batch(inputs);
+  const auto expected = engine.run_network_batch(inputs);
+  ASSERT_EQ(out.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(out[i] == expected[i]);
+}
+
+TEST(PipelinedExecutor, NoopCases) {
+  const auto net = chain_net();
+  const auto engine = compile(net, chain_configs(net), exec_options(4));
+  const PipelinedExecutor exec(engine);
+  EXPECT_TRUE(exec.pipelining_is_noop(0));
+  EXPECT_TRUE(exec.pipelining_is_noop(1));  // single item: nothing overlaps
+  EXPECT_FALSE(exec.pipelining_is_noop(2));
+
+  const auto serial = compile(net, chain_configs(net), exec_options(1));
+  const PipelinedExecutor serial_exec(serial);
+  EXPECT_TRUE(serial_exec.pipelining_is_noop(8));  // serial pool
+
+  EXPECT_TRUE(exec.run_batch({}).empty());
+}
+
+TEST(PipelinedExecutor, ScheduleShape) {
+  const auto net = chain_net();
+  const std::size_t layers = net.layers.size();
+  const auto engine = compile(net, chain_configs(net), exec_options(3));
+  const PipelinedExecutor exec(engine);
+
+  // Chunks: min(items, workers) balanced contiguous ranges.
+  const auto few = exec.chunks(2);
+  ASSERT_EQ(few.size(), 2u);
+  EXPECT_EQ(few[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(few[1], (std::pair<std::size_t, std::size_t>{1, 2}));
+  const auto many = exec.chunks(8);
+  ASSERT_EQ(many.size(), 3u);
+  EXPECT_EQ(many[0], (std::pair<std::size_t, std::size_t>{0, 3}));
+  EXPECT_EQ(many[1], (std::pair<std::size_t, std::size_t>{3, 6}));
+  EXPECT_EQ(many[2], (std::pair<std::size_t, std::size_t>{6, 8}));
+
+  // Schedule: chunk-major nodes, one chain edge per (chunk, layer > 0).
+  const auto nodes = exec.schedule(8);
+  ASSERT_EQ(nodes.size(), 3 * layers);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t l = 0; l < layers; ++l) {
+      const auto& node = nodes[c * layers + l];
+      EXPECT_EQ(node.chunk, c);
+      EXPECT_EQ(node.layer, l);
+      if (l == 0) {
+        EXPECT_TRUE(node.deps.empty());
+      } else {
+        ASSERT_EQ(node.deps.size(), 1u);
+        EXPECT_EQ(node.deps[0], c * layers + l - 1);
+      }
+    }
+  }
+}
+
+TEST(PipelinedExecutor, RunDelegatesToSequentialPath) {
+  const auto net = chain_net();
+  const auto engine = compile(net, chain_configs(net), exec_options(2));
+  const PipelinedExecutor exec(engine);
+  Rng rng(6063);
+  const MatrixF x = random_dense(engine.layer(0).k, 1, Dist::kNormalStd1, rng);
+  EXPECT_TRUE(exec.run(x) == engine.run_network(x));
+}
+
+TEST(CompileAndMeasure, MatchesPlainCompileBitwise) {
+  const auto net = chain_net();
+  const auto configs = chain_configs(net);
+  const CompileOptions opt = exec_options(4);
+
+  const auto plain = compile(net, configs, opt);
+  const auto overlapped = compile_and_measure(net, configs, opt);
+
+  ASSERT_EQ(overlapped.network.layer_count(), plain.layer_count());
+  EXPECT_EQ(overlapped.network.configured_count(), plain.configured_count());
+
+  Rng rng(6064);
+  const auto inputs = ragged_batch(plain.layer(0).k, 4, rng);
+  const auto a = plain.run_network_batch(inputs);
+  const auto b = overlapped.network.run_network_batch(inputs);
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    EXPECT_TRUE(a[i] == b[i]) << "item " << i;
+}
+
+TEST(CompileAndMeasure, TimingsCoverEveryLayer) {
+  const auto net = chain_net();
+  const auto configs = chain_configs(net);
+  const auto result = compile_and_measure(net, configs, exec_options(2));
+  ASSERT_EQ(result.timings.size(), net.layers.size());
+  for (std::size_t l = 0; l < result.timings.size(); ++l) {
+    const auto& t = result.timings[l];
+    EXPECT_EQ(t.name, net.layers[l].name);
+    EXPECT_GT(t.dense_ms, 0.0);
+    EXPECT_EQ(t.config.has_value(), configs[l].has_value());
+    if (configs[l]) {
+      EXPECT_GT(t.tasd_ms, 0.0);
+      EXPECT_GT(t.kept_nnz_fraction, 0.0);
+    }
+  }
+}
+
+TEST(CompileAndMeasure, RequiresPlanCache) {
+  const auto net = chain_net();
+  CompileOptions opt = exec_options(2);
+  opt.measure.use_plan_cache = false;
+  EXPECT_THROW(compile_and_measure(net, chain_configs(net), opt), Error);
+}
+
+}  // namespace
+}  // namespace tasd::rt
