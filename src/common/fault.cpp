@@ -1,13 +1,13 @@
 #include "common/fault.hpp"
 
 #include <chrono>
-#include <mutex>
 #include <new>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace tasd::fault {
 
@@ -22,9 +22,9 @@ struct Armed {
 };
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<Armed> armed;
-  int next_token = 1;
+  Mutex mutex;
+  std::vector<Armed> armed TASD_GUARDED_BY(mutex);
+  int next_token TASD_GUARDED_BY(mutex) = 1;
 };
 
 Registry& registry() {
@@ -34,6 +34,18 @@ Registry& registry() {
 
 // Fast-path gate: number of armed specs. inject() returns after one
 // relaxed load when it is zero, so instrumented hot paths stay hot.
+//
+// Memory-ordering contract: relaxed is sufficient on both sides. The
+// atomic is purely an optimization gate, never the source of truth —
+// every decision about *which* faults fire is re-derived under
+// Registry::mutex, whose acquire/release ordering publishes the armed
+// specs. The only consequence of the relaxed load is that an inject()
+// racing an arm()/disarm() on another thread may take the fast path
+// (or the slow path and find nothing matching) for a brief window;
+// arming is not a synchronization point, and tests that need exact
+// schedules arm before driving the threads they observe. Written only
+// under Registry::mutex, so read-modify-write atomicity is not needed
+// either.
 std::atomic<int> g_armed_count{0};
 
 bool matches(const Spec& spec, std::string_view site,
@@ -50,7 +62,7 @@ bool matches(const Spec& spec, std::string_view site,
 
 int arm(Spec spec) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   Armed a;
   a.token = r.next_token++;
   a.engine.seed(spec.seed);
@@ -63,7 +75,7 @@ int arm(Spec spec) {
 
 void disarm(int token) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (std::size_t i = 0; i < r.armed.size(); ++i) {
     if (r.armed[i].token == token) {
       r.armed.erase(r.armed.begin() + static_cast<std::ptrdiff_t>(i));
@@ -76,14 +88,14 @@ void disarm(int token) {
 
 void disarm_all() {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   r.armed.clear();
   g_armed_count.store(0, std::memory_order_relaxed);
 }
 
 std::size_t hit_count(int token) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& a : r.armed)
     if (a.token == token) return a.hits;
   return 0;
@@ -91,7 +103,7 @@ std::size_t hit_count(int token) {
 
 std::size_t fire_count(int token) {
   Registry& r = registry();
-  std::lock_guard lock(r.mutex);
+  MutexLock lock(r.mutex);
   for (const auto& a : r.armed)
     if (a.token == token) return a.fires;
   return 0;
@@ -113,7 +125,7 @@ void inject(std::string_view site, std::string_view detail) {
   std::string message;
   {
     Registry& r = registry();
-    std::lock_guard lock(r.mutex);
+    MutexLock lock(r.mutex);
     for (auto& a : r.armed) {
       if (!matches(a.spec, site, detail)) continue;
       ++a.hits;

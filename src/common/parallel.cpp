@@ -1,14 +1,13 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace tasd::rt {
 
@@ -21,18 +20,20 @@ thread_local bool t_in_parallel_region = false;
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::deque<std::function<void()>> queue;
-  bool stopping = false;
+  Mutex mutex;
+  CondVar work_ready;  ///< signaled on enqueue and on stop
+  std::deque<std::function<void()>> queue TASD_GUARDED_BY(mutex);
+  bool stopping TASD_GUARDED_BY(mutex) = false;
+  /// Written by the constructor before any worker can observe it and
+  /// read by the destructor after stop; never touched concurrently.
   std::vector<std::thread> workers;
 
-  void worker_loop() {
+  void worker_loop() TASD_EXCLUDES(mutex) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock(mutex);
-        work_ready.wait(lock, [&] { return stopping || !queue.empty(); });
+        MutexLock lock(mutex);
+        while (!stopping && queue.empty()) work_ready.wait(mutex);
         if (stopping && queue.empty()) return;
         task = std::move(queue.front());
         queue.pop_front();
@@ -54,7 +55,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     // Thread spawn failed mid-way: stop and join the workers that did
     // start, free the impl, and surface the original error.
     {
-      std::lock_guard lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       impl_->stopping = true;
     }
     impl_->work_ready.notify_all();
@@ -68,7 +69,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool() {
   if (!impl_) return;
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stopping = true;
   }
   impl_->work_ready.notify_all();
@@ -119,12 +120,15 @@ void ThreadPool::parallel_for(
   }
 
   struct Sync {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining = 0;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done;  ///< signaled when the last worker chunk finishes
+    std::size_t remaining TASD_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error TASD_GUARDED_BY(mutex);
   } sync;
-  sync.remaining = chunks - 1;
+  {
+    MutexLock lock(sync.mutex);
+    sync.remaining = chunks - 1;
+  }
 
   auto run_chunk = [&](std::size_t i) {
     const bool was_in_region = t_in_parallel_region;
@@ -132,18 +136,18 @@ void ThreadPool::parallel_for(
     try {
       fn(begin + bounds[i], begin + bounds[i + 1]);
     } catch (...) {
-      std::lock_guard lock(sync.mutex);
+      MutexLock lock(sync.mutex);
       if (!sync.error) sync.error = std::current_exception();
     }
     t_in_parallel_region = was_in_region;
   };
 
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     for (std::size_t i = 1; i < chunks; ++i) {
       impl_->queue.emplace_back([&, i] {
         run_chunk(i);
-        std::lock_guard done_lock(sync.mutex);
+        MutexLock done_lock(sync.mutex);
         if (--sync.remaining == 0) sync.done.notify_one();
       });
     }
@@ -153,8 +157,8 @@ void ThreadPool::parallel_for(
   // The caller executes chunk 0, then waits for the workers.
   run_chunk(0);
   {
-    std::unique_lock lock(sync.mutex);
-    sync.done.wait(lock, [&] { return sync.remaining == 0; });
+    MutexLock lock(sync.mutex);
+    while (sync.remaining != 0) sync.done.wait(sync.mutex);
     if (sync.error) std::rethrow_exception(sync.error);
   }
 }
@@ -188,22 +192,25 @@ void TaskGraph::run(ThreadPool& pool) {
   // tasks remain either one is ready or one is in flight — so the wait
   // below always terminates.
   struct Sched {
-    std::mutex mutex;
-    std::condition_variable ready_cv;
-    std::deque<TaskId> ready;
-    std::size_t done = 0;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar ready_cv;  ///< signaled when tasks become ready or all done
+    std::deque<TaskId> ready TASD_GUARDED_BY(mutex);
+    std::size_t done TASD_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error TASD_GUARDED_BY(mutex);
   } sched;
-  for (TaskId id = 0; id < nodes_.size(); ++id)
-    if (nodes_[id].unmet_deps == 0) sched.ready.push_back(id);
-
   const std::size_t total = nodes_.size();
+  {
+    MutexLock lock(sched.mutex);
+    for (TaskId id = 0; id < nodes_.size(); ++id)
+      if (nodes_[id].unmet_deps == 0) sched.ready.push_back(id);
+  }
+
   const std::size_t workers = std::min(pool.num_threads(), total);
   pool.parallel_for(0, workers, 1, [&](std::size_t, std::size_t) {
-    std::unique_lock lock(sched.mutex);
+    MutexLock lock(sched.mutex);
     for (;;) {
-      sched.ready_cv.wait(
-          lock, [&] { return !sched.ready.empty() || sched.done == total; });
+      while (sched.ready.empty() && sched.done != total)
+        sched.ready_cv.wait(sched.mutex);
       if (sched.ready.empty()) return;  // done == total
       const TaskId id = sched.ready.front();
       sched.ready.pop_front();
@@ -227,7 +234,12 @@ void TaskGraph::run(ThreadPool& pool) {
         sched.ready_cv.notify_all();
     }
   });
-  if (sched.error) std::rethrow_exception(sched.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(sched.mutex);
+    error = sched.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 std::size_t default_num_threads() {

@@ -1,0 +1,212 @@
+// Compile-time-checked synchronization primitives.
+//
+// Every mutex and condition variable in the library goes through the
+// wrappers in this header so that locking invariants are *machine
+// checked* on every Clang build instead of living in comments and
+// hoping a TSan run exercises the racy interleaving (PRs 6 and 7 each
+// shipped a race only a TSan run exposed). The wrappers carry Clang's
+// thread-safety attributes (-Wthread-safety); under any other compiler
+// the annotation macros expand to nothing and the types are
+// zero-overhead shims over <mutex>/<condition_variable>.
+//
+// Usage contract (see docs/static_analysis.md § Annotation conventions):
+//  * Declare shared state with TASD_GUARDED_BY(mu) naming the
+//    tasd::Mutex that protects it. The analysis then rejects any read
+//    or write of that field without the mutex held.
+//  * Hold a mutex with tasd::MutexLock (RAII; supports manual
+//    unlock()/lock() for drop-the-lock-while-working sections, like
+//    std::unique_lock).
+//  * Wait on a tasd::CondVar by passing the *Mutex* (not the lock
+//    object): `cv.wait(mu)` requires the capability `mu` at the call
+//    site, so waiting without the right mutex held is a compile error.
+//  * Write condition-wait loops as explicit `while (!cond) cv.wait(mu);`
+//    with the condition inline in the function that holds the lock —
+//    a predicate *lambda* is analyzed as a separate function that does
+//    not hold the capability, so guarded reads inside it would warn.
+//    Helper predicates that must be factored out take
+//    TASD_REQUIRES(mu) instead.
+//  * Annotate private helpers that expect the lock held with
+//    TASD_REQUIRES(mu), helpers that take it themselves with
+//    TASD_EXCLUDES(mu).
+//
+// Negative-compile tests in tests/static/ assert the analysis has
+// teeth: an unguarded read of a TASD_GUARDED_BY field, an unlock
+// without a lock, and a CV wait without the right mutex each fail to
+// compile under -Wthread-safety -Werror.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ----------------------------------------------------------------------
+// Attribute macros. Active under Clang (any version with the capability
+// attributes, i.e. every Clang this project supports); no-ops under
+// GCC/MSVC, so the annotations cost nothing where they cannot be
+// checked.
+#if defined(__clang__) && !defined(SWIG)
+#define TASD_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TASD_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability (applies to class declarations).
+#define TASD_CAPABILITY(x) TASD_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define TASD_SCOPED_CAPABILITY TASD_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable is readable and writable only with `x` held.
+#define TASD_GUARDED_BY(x) TASD_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee of this pointer field is protected by `x` (the pointer
+/// itself is not).
+#define TASD_PT_GUARDED_BY(x) TASD_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and does
+/// not release them).
+#define TASD_REQUIRES(...) \
+  TASD_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit).
+#define TASD_ACQUIRE(...) \
+  TASD_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (must be held on entry).
+#define TASD_RELEASE(...) \
+  TASD_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TASD_TRY_ACQUIRE(b, ...) \
+  TASD_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking functions).
+#define TASD_EXCLUDES(...) TASD_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-acquisition ordering between mutex declarations.
+#define TASD_ACQUIRED_AFTER(...) \
+  TASD_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define TASD_ACQUIRED_BEFORE(...) \
+  TASD_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to the mutex guarding its result.
+#define TASD_RETURN_CAPABILITY(x) TASD_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: skip analysis of this function body. Every use needs a
+/// comment explaining why the invariant holds anyway.
+#define TASD_NO_THREAD_SAFETY_ANALYSIS \
+  TASD_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace tasd {
+
+/// Annotated std::mutex. Non-recursive; same semantics, same cost.
+class TASD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TASD_ACQUIRE() { mu_.lock(); }
+  void unlock() TASD_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() TASD_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  /// The wrapped mutex, for CondVar's internal wait plumbing. Locking
+  /// through this bypasses the analysis — don't.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a tasd::Mutex. Acquires in the constructor, releases
+/// in the destructor; unlock()/lock() support drop-the-lock-while-
+/// working sections (the analysis tracks the held/released state, as
+/// with std::unique_lock). Not movable: the scoped-capability analysis
+/// tracks one lexical scope.
+class TASD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TASD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TASD_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquire after unlock(). Precondition: not currently held.
+  void lock() TASD_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  /// Release early. Precondition: currently held.
+  void unlock() TASD_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Annotated std::condition_variable. Waits take the tasd::Mutex itself
+/// and require its capability, so "wait without the right mutex held"
+/// is a compile error under -Wthread-safety. The caller keeps the
+/// mutex held across the call from the analysis' point of view (the
+/// wait's internal unlock/re-lock is invisible, which matches the
+/// invariant: guarded state is only touched while the wait is blocked
+/// or before/after it with the lock held).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified (or spuriously woken). `mu` must be held.
+  void wait(Mutex& mu) TASD_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Block until `pred()` holds. Prefer an explicit
+  /// `while (!cond) cv.wait(mu);` loop when `cond` reads
+  /// TASD_GUARDED_BY state — a lambda body is analyzed without the
+  /// caller's capabilities (see header comment).
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) TASD_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  /// Block until notified or `tp` passes. Returns std::cv_status.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      TASD_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(ul, tp);
+    ul.release();
+    return status;
+  }
+
+  /// Block until notified or `d` elapses. Returns std::cv_status.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      TASD_REQUIRES(mu) {
+    std::unique_lock<std::mutex> ul(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(ul, d);
+    ul.release();
+    return status;
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tasd

@@ -4,10 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "sparse/view.hpp"
 
 namespace tasd {
@@ -133,15 +133,19 @@ std::pair<std::uint64_t, std::uint64_t> fingerprint(const MatrixF& m) {
 }  // namespace
 
 struct PlanCache::Impl {
-  mutable std::mutex mutex;
-  std::size_t capacity;
-  PlanCacheStats stats;
+  mutable Mutex mutex;
+  std::size_t capacity TASD_GUARDED_BY(mutex) = 1;
+  PlanCacheStats stats TASD_GUARDED_BY(mutex);
   // LRU: most recent at the front.
-  std::list<std::pair<PlanKey, std::shared_ptr<const DecompositionPlan>>> lru;
-  std::unordered_map<PlanKey, decltype(lru)::iterator, PlanKeyHash> index;
+  using LruList =
+      std::list<std::pair<PlanKey, std::shared_ptr<const DecompositionPlan>>>;
+  LruList lru TASD_GUARDED_BY(mutex);
+  std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> index
+      TASD_GUARDED_BY(mutex);
 };
 
 PlanCache::PlanCache(std::size_t capacity) : impl_(new Impl) {
+  MutexLock lock(impl_->mutex);
   impl_->capacity = std::max<std::size_t>(1, capacity);
 }
 
@@ -165,7 +169,7 @@ std::shared_ptr<const DecompositionPlan> PlanCache::get_or_build(
   const auto [fp_lo, fp_hi] = fingerprint(matrix);
   PlanKey key{fp_lo, fp_hi, matrix.rows(), matrix.cols(), config.str()};
   {
-    std::lock_guard lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     if (auto it = impl_->index.find(key); it != impl_->index.end()) {
       ++impl_->stats.hits;
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
@@ -181,7 +185,7 @@ std::shared_ptr<const DecompositionPlan> PlanCache::get_or_build(
   auto plan = std::make_shared<const DecompositionPlan>(
       build_plan(matrix, config));
 
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   ++impl_->stats.decompositions;
   if (auto it = impl_->index.find(key); it != impl_->index.end())
     return it->second->second;
@@ -196,28 +200,28 @@ std::shared_ptr<const DecompositionPlan> PlanCache::get_or_build(
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->stats;
 }
 
 void PlanCache::reset_stats() {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->stats = {};
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->lru.size();
 }
 
 void PlanCache::clear() {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->index.clear();
   impl_->lru.clear();
 }
 
 void PlanCache::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->capacity = std::max<std::size_t>(1, capacity);
   while (impl_->lru.size() > impl_->capacity) {
     impl_->index.erase(impl_->lru.back().first);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "common/cpu_features.hpp"
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "tensor/gemm_ref.hpp"
 
 #ifdef TASD_HAVE_AVX2_KERNELS
@@ -90,15 +90,15 @@ void nm_gemm_rows(const sparse::NMSparseMatrix& a, const MatrixF& b,
 // ------------------------------------------------------------- registry
 
 struct GemmDispatch::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, DenseKernel> dense;
-  std::map<std::string, NmKernel> nm;
-  std::map<std::string, DenseBatchKernel> dense_batch;
-  std::map<std::string, NmBatchKernel> nm_batch;
-  std::string default_dense;
-  std::string default_nm;
-  std::string default_dense_batch;
-  std::string default_nm_batch;
+  mutable Mutex mutex;
+  std::map<std::string, DenseKernel> dense TASD_GUARDED_BY(mutex);
+  std::map<std::string, NmKernel> nm TASD_GUARDED_BY(mutex);
+  std::map<std::string, DenseBatchKernel> dense_batch TASD_GUARDED_BY(mutex);
+  std::map<std::string, NmBatchKernel> nm_batch TASD_GUARDED_BY(mutex);
+  std::string default_dense TASD_GUARDED_BY(mutex);
+  std::string default_nm TASD_GUARDED_BY(mutex);
+  std::string default_dense_batch TASD_GUARDED_BY(mutex);
+  std::string default_nm_batch TASD_GUARDED_BY(mutex);
 };
 
 // ------------------------------------------------- packed batch layout
@@ -248,19 +248,24 @@ void run_packed_batch(Index rows, std::span<const MatrixF> bs,
 }
 
 GemmDispatch::GemmDispatch() : impl_(new Impl) {
-  impl_->dense["tiled-parallel"] = dense_tiled_parallel;
-  impl_->dense["tiled-serial"] = dense_tiled_serial;
-  impl_->dense["reference"] = dense_reference;
-  impl_->default_dense = "tiled-parallel";
-  impl_->nm["row-parallel"] = nm_row_parallel;
-  impl_->nm["serial"] = nm_serial;
-  impl_->default_nm = "row-parallel";
-  impl_->dense_batch["batch-packed"] = dense_batch_packed;
-  impl_->dense_batch["batch-loop"] = dense_batch_loop;
-  impl_->default_dense_batch = "batch-packed";
-  impl_->nm_batch["batch-packed"] = nm_batch_packed;
-  impl_->nm_batch["batch-loop"] = nm_batch_loop;
-  impl_->default_nm_batch = "batch-packed";
+  {
+    // Scoped: register_avx2_kernels below re-enters through the public
+    // registration methods, which take the lock themselves.
+    MutexLock lock(impl_->mutex);
+    impl_->dense["tiled-parallel"] = dense_tiled_parallel;
+    impl_->dense["tiled-serial"] = dense_tiled_serial;
+    impl_->dense["reference"] = dense_reference;
+    impl_->default_dense = "tiled-parallel";
+    impl_->nm["row-parallel"] = nm_row_parallel;
+    impl_->nm["serial"] = nm_serial;
+    impl_->default_nm = "row-parallel";
+    impl_->dense_batch["batch-packed"] = dense_batch_packed;
+    impl_->dense_batch["batch-loop"] = dense_batch_loop;
+    impl_->default_dense_batch = "batch-packed";
+    impl_->nm_batch["batch-packed"] = nm_batch_packed;
+    impl_->nm_batch["batch-loop"] = nm_batch_loop;
+    impl_->default_nm_batch = "batch-packed";
+  }
 #ifdef TASD_HAVE_AVX2_KERNELS
   // Runtime-gated SIMD backend: registered only when the executing
   // CPU/OS can run it (and TASD_DISABLE_AVX2 is unset). Defaults stay
@@ -277,60 +282,60 @@ GemmDispatch& GemmDispatch::instance() {
 void GemmDispatch::register_dense(const std::string& name,
                                   DenseKernel kernel) {
   TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->dense[name] = std::move(kernel);
 }
 
 void GemmDispatch::register_nm(const std::string& name, NmKernel kernel) {
   TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->nm[name] = std::move(kernel);
 }
 
 void GemmDispatch::register_dense_batch(const std::string& name,
                                         DenseBatchKernel kernel) {
   TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->dense_batch[name] = std::move(kernel);
 }
 
 void GemmDispatch::register_nm_batch(const std::string& name,
                                      NmBatchKernel kernel) {
   TASD_CHECK_MSG(!name.empty(), "kernel name must be non-empty");
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->nm_batch[name] = std::move(kernel);
 }
 
 void GemmDispatch::set_default_dense(const std::string& name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   TASD_CHECK_MSG(impl_->dense.contains(name),
                  "unknown dense kernel '" << name << "'");
   impl_->default_dense = name;
 }
 
 void GemmDispatch::set_default_nm(const std::string& name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   TASD_CHECK_MSG(impl_->nm.contains(name),
                  "unknown N:M kernel '" << name << "'");
   impl_->default_nm = name;
 }
 
 void GemmDispatch::set_default_dense_batch(const std::string& name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   TASD_CHECK_MSG(impl_->dense_batch.contains(name),
                  "unknown dense batch kernel '" << name << "'");
   impl_->default_dense_batch = name;
 }
 
 void GemmDispatch::set_default_nm_batch(const std::string& name) {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   TASD_CHECK_MSG(impl_->nm_batch.contains(name),
                  "unknown N:M batch kernel '" << name << "'");
   impl_->default_nm_batch = name;
 }
 
 std::vector<std::string> GemmDispatch::dense_kernels() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> names;
   names.reserve(impl_->dense.size());
   for (const auto& [name, _] : impl_->dense) names.push_back(name);
@@ -338,7 +343,7 @@ std::vector<std::string> GemmDispatch::dense_kernels() const {
 }
 
 std::vector<std::string> GemmDispatch::nm_kernels() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> names;
   names.reserve(impl_->nm.size());
   for (const auto& [name, _] : impl_->nm) names.push_back(name);
@@ -346,7 +351,7 @@ std::vector<std::string> GemmDispatch::nm_kernels() const {
 }
 
 std::vector<std::string> GemmDispatch::dense_batch_kernels() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> names;
   names.reserve(impl_->dense_batch.size());
   for (const auto& [name, _] : impl_->dense_batch) names.push_back(name);
@@ -354,7 +359,7 @@ std::vector<std::string> GemmDispatch::dense_batch_kernels() const {
 }
 
 std::vector<std::string> GemmDispatch::nm_batch_kernels() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   std::vector<std::string> names;
   names.reserve(impl_->nm_batch.size());
   for (const auto& [name, _] : impl_->nm_batch) names.push_back(name);
@@ -362,51 +367,51 @@ std::vector<std::string> GemmDispatch::nm_batch_kernels() const {
 }
 
 std::string GemmDispatch::default_dense() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->default_dense;
 }
 
 std::string GemmDispatch::default_nm() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->default_nm;
 }
 
 std::string GemmDispatch::default_dense_batch() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->default_dense_batch;
 }
 
 std::string GemmDispatch::default_nm_batch() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->default_nm_batch;
 }
 
 std::string GemmDispatch::best_dense() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->dense.contains("dense-avx2") ? "dense-avx2"
                                              : impl_->default_dense;
 }
 
 std::string GemmDispatch::best_nm() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->nm.contains("nm-avx2") ? "nm-avx2" : impl_->default_nm;
 }
 
 std::string GemmDispatch::best_dense_batch() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->dense_batch.contains("dense-batch-avx2")
              ? "dense-batch-avx2"
              : impl_->default_dense_batch;
 }
 
 std::string GemmDispatch::best_nm_batch() const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->nm_batch.contains("nm-batch-avx2") ? "nm-batch-avx2"
                                                    : impl_->default_nm_batch;
 }
 
 DenseKernel GemmDispatch::dense(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const std::string& key = name.empty() ? impl_->default_dense : name;
   const auto it = impl_->dense.find(key);
   TASD_CHECK_MSG(it != impl_->dense.end(),
@@ -415,7 +420,7 @@ DenseKernel GemmDispatch::dense(const std::string& name) const {
 }
 
 NmKernel GemmDispatch::nm(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const std::string& key = name.empty() ? impl_->default_nm : name;
   const auto it = impl_->nm.find(key);
   TASD_CHECK_MSG(it != impl_->nm.end(),
@@ -424,7 +429,7 @@ NmKernel GemmDispatch::nm(const std::string& name) const {
 }
 
 DenseBatchKernel GemmDispatch::dense_batch(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const std::string& key = name.empty() ? impl_->default_dense_batch : name;
   const auto it = impl_->dense_batch.find(key);
   TASD_CHECK_MSG(it != impl_->dense_batch.end(),
@@ -433,7 +438,7 @@ DenseBatchKernel GemmDispatch::dense_batch(const std::string& name) const {
 }
 
 NmBatchKernel GemmDispatch::nm_batch(const std::string& name) const {
-  std::lock_guard lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   const std::string& key = name.empty() ? impl_->default_nm_batch : name;
   const auto it = impl_->nm_batch.find(key);
   TASD_CHECK_MSG(it != impl_->nm_batch.end(),

@@ -73,31 +73,44 @@ ServingEngine::ServingEngine(std::vector<CompiledNetwork> models,
   TASD_CHECK_MSG(opt_.max_queue_depth >= 1, "max_queue_depth must be >= 1");
   TASD_CHECK_MSG(opt_.max_batch >= 1, "max_batch must be >= 1");
   TASD_CHECK_MSG(opt_.latency_window >= 1, "latency_window must be >= 1");
-  models_.reserve(models.size());
-  for (auto& m : models) models_.emplace_back(std::move(m));
+  nets_.reserve(models.size());
+  for (auto& m : models) nets_.push_back(std::move(m));
+  {
+    MutexLock lock(mu_);
+    stats_.resize(nets_.size());
+  }
   // Start the batcher last: everything it touches is constructed.
+  MutexLock lock(drain_mu_);
   batcher_ = std::thread([this] { batcher_main(); });
 }
 
 ServingEngine::~ServingEngine() { drain(); }
 
 const CompiledNetwork& ServingEngine::model(std::size_t i) const {
-  TASD_CHECK_MSG(i < models_.size(), "model index " << i << " out of range ("
-                                                    << models_.size()
-                                                    << " models)");
-  return models_[i].net;
+  TASD_CHECK_MSG(i < nets_.size(), "model index " << i << " out of range ("
+                                                  << nets_.size()
+                                                  << " models)");
+  return nets_[i];
 }
 
 std::size_t ServingEngine::queue_depth() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
+}
+
+std::size_t ServingEngine::matching_locked(std::size_t model,
+                                           std::size_t layer) const {
+  std::size_t n = 0;
+  for (const auto& r : queue_)
+    if (r.model == model && r.layer == layer) ++n;
+  return n;
 }
 
 void ServingEngine::enqueue(Request req) {
   std::optional<std::string> shed_reason;
   {
-    std::unique_lock lock(mu_);
-    models_[req.model].submitted++;
+    MutexLock lock(mu_);
+    stats_[req.model].submitted++;
     if (draining_) {
       shed_reason = "engine is draining";
     } else if (queue_.size() >= opt_.max_queue_depth) {
@@ -105,16 +118,15 @@ void ServingEngine::enqueue(Request req) {
         shed_reason = "queue full (depth " + std::to_string(queue_.size()) +
                       ", policy reject)";
       } else {
-        space_cv_.wait(lock, [&] {
-          return draining_ || queue_.size() < opt_.max_queue_depth;
-        });
+        while (!draining_ && queue_.size() >= opt_.max_queue_depth)
+          space_cv_.wait(mu_);
         if (draining_) shed_reason = "engine drained while blocked on queue space";
       }
     }
     if (!shed_reason) {
-      PerModel& pm = models_[req.model];
-      pm.queued++;
-      pm.peak_queued = std::max(pm.peak_queued, pm.queued);
+      ModelStats& ms = stats_[req.model];
+      ms.queued++;
+      ms.peak_queued = std::max(ms.peak_queued, ms.queued);
       queue_.push_back(std::move(req));
     }
   }
@@ -131,9 +143,9 @@ void ServingEngine::enqueue(Request req) {
 std::future<Response> ServingEngine::submit(
     std::size_t model_index, std::size_t layer_index, MatrixF input,
     std::optional<std::chrono::microseconds> deadline) {
-  TASD_CHECK_MSG(model_index < models_.size(),
+  TASD_CHECK_MSG(model_index < nets_.size(),
                  "model index " << model_index << " out of range ("
-                                << models_.size() << " models)");
+                                << nets_.size() << " models)");
   Request req;
   req.model = model_index;
   req.layer = layer_index;
@@ -156,9 +168,9 @@ std::future<Response> ServingEngine::submit(
 void ServingEngine::submit_async(
     std::size_t model_index, std::size_t layer_index, MatrixF input,
     Callback on_done, std::optional<std::chrono::microseconds> deadline) {
-  TASD_CHECK_MSG(model_index < models_.size(),
+  TASD_CHECK_MSG(model_index < nets_.size(),
                  "model index " << model_index << " out of range ("
-                                << models_.size() << " models)");
+                                << nets_.size() << " models)");
   TASD_CHECK_MSG(on_done != nullptr, "submit_async needs a completion callback");
   Request req;
   req.callback = std::move(on_done);
@@ -179,39 +191,39 @@ void ServingEngine::submit_async(
 
 void ServingEngine::drain() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
   work_cv_.notify_all();
   space_cv_.notify_all();
   // Serialize the join: drain() is idempotent and may race the
   // destructor with an explicit call.
-  std::lock_guard lock(drain_mu_);
+  MutexLock lock(drain_mu_);
   if (batcher_.joinable()) batcher_.join();
 }
 
 ModelMetrics ServingEngine::metrics(std::size_t model_index) const {
-  TASD_CHECK_MSG(model_index < models_.size(),
+  TASD_CHECK_MSG(model_index < nets_.size(),
                  "model index " << model_index << " out of range ("
-                                << models_.size() << " models)");
+                                << nets_.size() << " models)");
   ModelMetrics out;
+  out.model = nets_[model_index].name();
   std::vector<double> latencies;
   {
-    std::lock_guard lock(mu_);
-    const PerModel& pm = models_[model_index];
-    out.model = pm.net.name();
-    out.submitted = pm.submitted;
-    out.ok = pm.ok;
-    out.invalid = pm.invalid;
-    out.expired = pm.expired;
-    out.shed = pm.shed;
-    out.failed = pm.failed;
-    out.batches = pm.batches;
-    out.batched_requests = pm.batched_requests;
-    out.degraded_batches = pm.degraded_batches;
-    out.queue_depth = pm.queued;
-    out.peak_queue_depth = pm.peak_queued;
-    latencies = pm.latencies;
+    MutexLock lock(mu_);
+    const ModelStats& ms = stats_[model_index];
+    out.submitted = ms.submitted;
+    out.ok = ms.ok;
+    out.invalid = ms.invalid;
+    out.expired = ms.expired;
+    out.shed = ms.shed;
+    out.failed = ms.failed;
+    out.batches = ms.batches;
+    out.batched_requests = ms.batched_requests;
+    out.degraded_batches = ms.degraded_batches;
+    out.queue_depth = ms.queued;
+    out.peak_queue_depth = ms.peak_queued;
+    latencies = ms.latencies;
   }
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - start_time_).count();
@@ -225,22 +237,22 @@ ModelMetrics ServingEngine::metrics(std::size_t model_index) const {
 void ServingEngine::resolve(Request& req, Response response) {
   response.latency_ms = ms_between(req.submit_time, Clock::now());
   {
-    std::lock_guard lock(mu_);
-    PerModel& pm = models_[req.model];
+    MutexLock lock(mu_);
+    ModelStats& ms = stats_[req.model];
     switch (response.status) {
       case RequestStatus::kOk:
-        pm.ok++;
-        if (pm.latencies.size() < opt_.latency_window) {
-          pm.latencies.push_back(response.latency_ms);
+        ms.ok++;
+        if (ms.latencies.size() < opt_.latency_window) {
+          ms.latencies.push_back(response.latency_ms);
         } else {
-          pm.latencies[pm.latency_next] = response.latency_ms;
-          pm.latency_next = (pm.latency_next + 1) % opt_.latency_window;
+          ms.latencies[ms.latency_next] = response.latency_ms;
+          ms.latency_next = (ms.latency_next + 1) % opt_.latency_window;
         }
         break;
-      case RequestStatus::kInvalid: pm.invalid++; break;
-      case RequestStatus::kDeadline: pm.expired++; break;
-      case RequestStatus::kShed: pm.shed++; break;
-      case RequestStatus::kFailed: pm.failed++; break;
+      case RequestStatus::kInvalid: ms.invalid++; break;
+      case RequestStatus::kDeadline: ms.expired++; break;
+      case RequestStatus::kShed: ms.shed++; break;
+      case RequestStatus::kFailed: ms.failed++; break;
     }
   }
   // Delivery happens outside mu_: a callback (or a future-waiter woken
@@ -265,7 +277,7 @@ void ServingEngine::resolve(Request& req, Response response) {
 
 EngineMetrics ServingEngine::engine_metrics() const {
   EngineMetrics out;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   out.busy_ms = batcher_busy_ms_;
   out.idle_ms = batcher_idle_ms_;
   out.groups = groups_;
@@ -275,12 +287,12 @@ EngineMetrics ServingEngine::engine_metrics() const {
 }
 
 void ServingEngine::batcher_main() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     // Idle: waiting for work to arrive. The accumulators are written
     // while mu_ is held (the wait reacquires it before returning).
     const auto idle_start = Clock::now();
-    work_cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+    while (!draining_ && queue_.empty()) work_cv_.wait(mu_);
     batcher_idle_ms_ += ms_between(idle_start, Clock::now());
     if (queue_.empty()) {
       if (draining_) return;
@@ -288,25 +300,21 @@ void ServingEngine::batcher_main() {
     }
     const std::size_t key_model = queue_.front().model;
     const std::size_t key_layer = queue_.front().layer;
-    const auto matching = [&] {
-      std::size_t n = 0;
-      for (const auto& r : queue_)
-        if (r.model == key_model && r.layer == key_layer) ++n;
-      return n;
-    };
     // Hold the admission window open for batchmates — but never past
     // the head's own deadline, and not at all while draining (the flush
     // must be prompt) or when the batch is already full.
     if (!draining_ && opt_.admission_window.count() > 0 &&
-        matching() < opt_.max_batch) {
+        matching_locked(key_model, key_layer) < opt_.max_batch) {
       auto wait_end = queue_.front().submit_time + opt_.admission_window;
       if (queue_.front().deadline && *queue_.front().deadline < wait_end)
         wait_end = *queue_.front().deadline;
       // Also idle: deliberately holding the window open for batchmates.
       const auto window_start = Clock::now();
-      work_cv_.wait_until(lock, wait_end, [&] {
-        return draining_ || matching() >= opt_.max_batch;
-      });
+      while (!draining_ &&
+             matching_locked(key_model, key_layer) < opt_.max_batch) {
+        if (work_cv_.wait_until(mu_, wait_end) == std::cv_status::timeout)
+          break;
+      }
       batcher_idle_ms_ += ms_between(window_start, Clock::now());
     }
     const auto busy_start = Clock::now();
@@ -325,7 +333,7 @@ void ServingEngine::batcher_main() {
       }
     }
     queue_ = std::move(rest);
-    models_[key_model].queued -= group.size();
+    stats_[key_model].queued -= group.size();
 
     lock.unlock();
     space_cv_.notify_all();
@@ -340,7 +348,8 @@ void ServingEngine::batcher_main() {
 
 void ServingEngine::execute_group(std::vector<Request> group) {
   const auto dequeue_time = Clock::now();
-  PerModel& pm = models_[group.front().model];
+  const std::size_t model = group.front().model;
+  const CompiledNetwork& net = nets_[model];
   const std::size_t layer = group.front().layer;
 
   // Dequeue-time expiry and per-request admission validation: a request
@@ -361,7 +370,7 @@ void ServingEngine::execute_group(std::vector<Request> group) {
       continue;
     }
     try {
-      pm.net.validate_input(req.layer, req.input);
+      net.validate_input(req.layer, req.input);
       runnable.push_back(i);
     } catch (const Error& e) {
       Response resp;
@@ -390,14 +399,14 @@ void ServingEngine::execute_group(std::vector<Request> group) {
   };
 
   try {
-    fault::inject("serving.execute", pm.net.name());
-    auto outputs = pm.net.run_batch(layer, inputs);
+    fault::inject("serving.execute", net.name());
+    auto outputs = net.run_batch(layer, inputs);
     {
       // Count the batch before resolving any promise: a caller that
       // joins its future must see these counters in metrics().
-      std::lock_guard lock(mu_);
-      pm.batches++;
-      pm.batched_requests += runnable.size();
+      MutexLock lock(mu_);
+      stats_[model].batches++;
+      stats_[model].batched_requests += runnable.size();
     }
     for (std::size_t j = 0; j < runnable.size(); ++j)
       finish(j, std::move(outputs[j]), runnable.size());
@@ -407,13 +416,13 @@ void ServingEngine::execute_group(std::vector<Request> group) {
     // request alone so only the ones that fail on their own do fail —
     // the batcher thread survives regardless.
     {
-      std::lock_guard lock(mu_);
-      pm.degraded_batches++;
+      MutexLock lock(mu_);
+      stats_[model].degraded_batches++;
     }
     for (std::size_t j = 0; j < runnable.size(); ++j) {
       Request& req = group[runnable[j]];
       try {
-        finish(j, pm.net.run(layer, inputs[j]), 1);
+        finish(j, net.run(layer, inputs[j]), 1);
       } catch (const Error& e) {
         Response resp;
         resp.status = status_from_code(e.code());

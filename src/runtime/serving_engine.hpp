@@ -41,17 +41,16 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "runtime/compiled_network.hpp"
 
 namespace tasd::rt {
@@ -192,7 +191,7 @@ class ServingEngine {
   /// submit() resolves every request with kShed.
   void drain();
 
-  [[nodiscard]] std::size_t model_count() const { return models_.size(); }
+  [[nodiscard]] std::size_t model_count() const { return nets_.size(); }
   [[nodiscard]] const CompiledNetwork& model(std::size_t i) const;
   [[nodiscard]] const ServingOptions& options() const { return opt_; }
 
@@ -218,9 +217,9 @@ class ServingEngine {
     std::optional<Clock::time_point> deadline;
   };
 
-  struct PerModel {
-    explicit PerModel(CompiledNetwork n) : net(std::move(n)) {}
-    CompiledNetwork net;
+  /// Mutable per-model counters. One entry per nets_ entry; every
+  /// field is guarded by mu_ through the enclosing stats_ annotation.
+  struct ModelStats {
     std::uint64_t submitted = 0;
     std::uint64_t ok = 0;
     std::uint64_t invalid = 0;
@@ -237,32 +236,44 @@ class ServingEngine {
     std::size_t latency_next = 0;
   };
 
-  void batcher_main();
+  void batcher_main() TASD_EXCLUDES(mu_);
   /// Shared admission path of submit()/submit_async(): enqueue or shed.
-  void enqueue(Request req);
+  void enqueue(Request req) TASD_EXCLUDES(mu_);
   /// Execute one coalesced group (dequeue-time expiry, per-request
   /// validation, batched execution with per-request fallback). Called
   /// without locks held; takes them as needed for metrics.
-  void execute_group(std::vector<Request> group);
+  void execute_group(std::vector<Request> group) TASD_EXCLUDES(mu_);
   /// Resolve one request and record its terminal status (locks mu_).
-  void resolve(Request& req, Response response);
+  void resolve(Request& req, Response response) TASD_EXCLUDES(mu_);
+  /// Queued requests with this (model, layer) — the admission window's
+  /// "how full is the forming batch" probe.
+  [[nodiscard]] std::size_t matching_locked(std::size_t model,
+                                            std::size_t layer) const
+      TASD_REQUIRES(mu_);
 
   ServingOptions opt_;
-  std::vector<PerModel> models_;
-  Clock::time_point start_time_;
+  /// Resident artifacts. The vector and each CompiledNetwork are
+  /// immutable after construction, so execution reads them without
+  /// mu_; every mutable per-model counter lives in stats_ instead.
+  std::vector<CompiledNetwork> nets_;
+  Clock::time_point start_time_;  ///< const after construction
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   ///< batcher waits: work or stop
-  std::condition_variable space_cv_;  ///< kBlock submitters wait: space
-  std::deque<Request> queue_;
-  /// Batcher wall-clock accounting (guarded by mu_): time spent waiting
-  /// on work_cv_ vs dequeuing + executing groups.
-  double batcher_idle_ms_ = 0.0;
-  double batcher_busy_ms_ = 0.0;
-  std::uint64_t groups_ = 0;
-  bool draining_ = false;
-  std::mutex drain_mu_;  ///< serializes the join (drain vs destructor)
-  std::thread batcher_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   ///< batcher waits: work or stop
+  CondVar space_cv_;  ///< kBlock submitters wait: space
+  std::deque<Request> queue_ TASD_GUARDED_BY(mu_);
+  /// Parallel to nets_ (same index); sized once in the constructor.
+  std::vector<ModelStats> stats_ TASD_GUARDED_BY(mu_);
+  /// Batcher wall-clock accounting: time spent waiting on work_cv_ vs
+  /// dequeuing + executing groups.
+  double batcher_idle_ms_ TASD_GUARDED_BY(mu_) = 0.0;
+  double batcher_busy_ms_ TASD_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t groups_ TASD_GUARDED_BY(mu_) = 0;
+  bool draining_ TASD_GUARDED_BY(mu_) = false;
+  /// Serializes the join (drain vs destructor). Never taken while mu_
+  /// is held, so no ordering edge with mu_ exists.
+  Mutex drain_mu_;
+  std::thread batcher_ TASD_GUARDED_BY(drain_mu_);
 };
 
 }  // namespace tasd::rt

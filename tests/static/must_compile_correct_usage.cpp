@@ -1,0 +1,48 @@
+// Positive control for the negative-compile harness: fully annotated,
+// fully correct locking. If THIS fails under -Wthread-safety -Werror,
+// the harness (flags, include path, or sync.hpp itself) is broken and
+// every must_not_compile result is meaningless.
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) TASD_EXCLUDES(mu_) {
+    {
+      tasd::MutexLock lock(mu_);
+      value_ = v;
+      has_value_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  int pop() TASD_EXCLUDES(mu_) {
+    tasd::MutexLock lock(mu_);
+    while (!has_value_) cv_.wait(mu_);
+    has_value_ = false;
+    return value_;
+  }
+
+  int peek_locked() const TASD_REQUIRES(mu_) { return value_; }
+
+  int peek() const TASD_EXCLUDES(mu_) {
+    tasd::MutexLock lock(mu_);
+    return peek_locked();
+  }
+
+ private:
+  mutable tasd::Mutex mu_;
+  tasd::CondVar cv_;
+  int value_ TASD_GUARDED_BY(mu_) = 0;
+  bool has_value_ TASD_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+int probe() {
+  Queue q;
+  q.push(1);
+  (void)q.peek();
+  return q.pop();
+}

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: waits on a CondVar
+// while holding a DIFFERENT mutex than the one passed to wait().
+// CondVar::wait(mu) requires the capability `mu`; holding some other
+// lock does not satisfy it — the classic sleeping-with-the-wrong-lock
+// CV protocol bug.
+#include "common/sync.hpp"
+
+namespace {
+
+struct TwoLocks {
+  tasd::Mutex mu_a;
+  tasd::Mutex mu_b;
+  tasd::CondVar cv;
+  bool ready TASD_GUARDED_BY(mu_b) = false;
+
+  void broken_wait() TASD_EXCLUDES(mu_a, mu_b) {
+    tasd::MutexLock lock(mu_a);  // holds mu_a ...
+    cv.wait(mu_b);               // ... but waits on mu_b: compile error
+  }
+};
+
+}  // namespace
+
+void probe() {
+  TwoLocks t;
+  t.broken_wait();
+}

@@ -1,0 +1,27 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: calls a
+// TASD_REQUIRES(mu) helper without holding mu — the
+// "forgot the lock around the _locked helper" bug
+// ("calling function ... requires holding mutex").
+#include "common/sync.hpp"
+
+namespace {
+
+class Engine {
+ public:
+  int pending_locked() const TASD_REQUIRES(mu_) { return pending_; }
+
+  int broken_probe() const {
+    return pending_locked();  // mu_ not held: compile error
+  }
+
+ private:
+  mutable tasd::Mutex mu_;
+  int pending_ TASD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int probe() {
+  Engine e;
+  return e.broken_probe();
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: reads a
+// TASD_GUARDED_BY field without holding its mutex
+// (-Wthread-safety-analysis: "reading variable ... requires holding
+// mutex").
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int racy_get() const {
+    return value_;  // read without mu_ held: compile error
+  }
+
+ private:
+  mutable tasd::Mutex mu_;
+  int value_ TASD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int probe() {
+  Counter c;
+  return c.racy_get();
+}

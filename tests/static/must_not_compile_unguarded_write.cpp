@@ -1,0 +1,24 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: writes a
+// TASD_GUARDED_BY field without holding its mutex — the exact shape of
+// a lost-update data race on a metrics counter.
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void racy_increment() {
+    ++value_;  // write without mu_ held: compile error
+  }
+
+ private:
+  tasd::Mutex mu_;
+  int value_ TASD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void probe() {
+  Counter c;
+  c.racy_increment();
+}

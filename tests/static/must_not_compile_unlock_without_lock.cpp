@@ -1,0 +1,8 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: releases a mutex
+// that is not held ("releasing mutex ... that was not held").
+#include "common/sync.hpp"
+
+void probe() {
+  tasd::Mutex mu;
+  mu.unlock();  // never locked: compile error
+}
