@@ -1,0 +1,168 @@
+// Cold-start bench for the TASDART1 artifact store (ROADMAP item 3):
+// the deployment question it answers is "what does a serving replica pay
+// to become ready?". The compile path materializes sparse_resnet34's
+// weights and decomposes every pruned layer at 2:4; the artifact path
+// loads the blob save_artifact wrote — reconstructing the plans from
+// their compressed term buffers, zero decompositions (asserted via
+// PlanCache stats, non-zero exit on violation).
+//
+// Before any timing, the loaded artifact is checked bit-exact (`==`)
+// against the compiled one on a per-layer input set — a fast loader that
+// deserializes the wrong bits fails loudly here.
+//
+// Timing protocol: min over repeats; every compile repetition starts
+// from a cleared PlanCache (a warm cache would measure the cache, not
+// the decomposition work the artifact amortizes away), every load
+// repetition too (so adoption cost is included honestly).
+//
+// Emits BENCH_coldstart.json (schema tasd-bench-coldstart-v1; see
+// docs/reproducing.md and docs/artifact.md).
+//
+// Usage: coldstart [output.json] [--quick]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/plan_cache.hpp"
+#include "dnn/workloads.hpp"
+#include "runtime/compiled_network.hpp"
+#include "tensor/generator.hpp"
+
+namespace {
+
+using namespace tasd;
+
+/// 2:4 on every pruned layer; dense layers stay dense (same rule the
+/// decode and fig16 benches use).
+std::vector<std::optional<TasdConfig>> sparse_configs(
+    const dnn::NetworkWorkload& net) {
+  std::vector<std::optional<TasdConfig>> configs;
+  configs.reserve(net.layers.size());
+  for (const auto& l : net.layers) {
+    if (l.weight_density < 1.0)
+      configs.emplace_back(TasdConfig::parse("2:4"));
+    else
+      configs.emplace_back(std::nullopt);
+  }
+  return configs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_coldstart.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  auto net = dnn::resnet34_workload(true, 42);
+  if (quick) net.layers.resize(8);  // first residual stages only
+  const auto configs = sparse_configs(net);
+  const int repeats = quick ? 3 : 5;
+  const std::string artifact_path = out_path + ".tasdart";
+
+  rt::CompileOptions opt;  // "auto" kernels: resolved per host, both paths
+
+  // Reference build + the artifact under test.
+  plan_cache().clear();
+  const auto compiled = rt::compile(net, configs, opt);
+  rt::save_artifact(compiled, artifact_path);
+  const auto info = rt::inspect_artifact(artifact_path);
+
+  // --- bit-exactness gate -------------------------------------------------
+  plan_cache().clear();
+  plan_cache().reset_stats();
+  const auto loaded = rt::load_artifact(artifact_path, opt);
+  const auto load_stats = plan_cache().stats();
+  const std::size_t decompositions_load = load_stats.decompositions;
+  if (decompositions_load != 0) {
+    std::fprintf(stderr,
+                 "** load_artifact decomposed %zu times — must be 0 **\n",
+                 static_cast<std::size_t>(decompositions_load));
+    return 1;
+  }
+  if (load_stats.preloads != compiled.configured_count()) {
+    std::fprintf(stderr, "** expected %zu preloads, saw %zu **\n",
+                 compiled.configured_count(),
+                 static_cast<std::size_t>(load_stats.preloads));
+    return 1;
+  }
+  Rng rng(7301);
+  for (std::size_t i = 0; i < compiled.layer_count(); ++i) {
+    const MatrixF x =
+        random_dense(compiled.layer(i).k, 4, Dist::kNormalStd1, rng);
+    if (!(loaded.run(i, x) == compiled.run(i, x))) {
+      std::fprintf(stderr, "** NOT BIT-EXACT at layer %zu (%s) **\n", i,
+                   compiled.layer(i).name.c_str());
+      return 1;
+    }
+  }
+
+  // --- timings ------------------------------------------------------------
+  std::size_t decompositions_compile = 0;
+  const double compile_ms = time_ms_min(repeats, [&] {
+    plan_cache().clear();
+    plan_cache().reset_stats();
+    const auto engine = rt::compile(net, configs, opt);
+    decompositions_compile = plan_cache().stats().decompositions;
+    if (engine.layer_count() != net.layers.size()) std::abort();
+  });
+  const double load_ms = time_ms_min(repeats, [&] {
+    plan_cache().clear();
+    const auto engine = rt::load_artifact(artifact_path, opt);
+    if (engine.layer_count() != net.layers.size()) std::abort();
+  });
+  const double speedup = load_ms > 0.0 ? compile_ms / load_ms : 0.0;
+
+  std::fprintf(stderr,
+               "coldstart %s: %zu layers (%zu configured)\n"
+               "  compile %9.3f ms  (%zu decompositions)\n"
+               "  load    %9.3f ms  (0 decompositions)\n"
+               "  speedup %.2fx   file %zu bytes  artifact_bytes %zu  "
+               "plan_bytes %zu\n",
+               net.name.c_str(), compiled.layer_count(),
+               compiled.configured_count(), compile_ms, decompositions_compile,
+               load_ms, speedup, static_cast<std::size_t>(info.file_bytes),
+               static_cast<std::size_t>(compiled.artifact_bytes()),
+               static_cast<std::size_t>(compiled.plan_bytes()));
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::perror("coldstart: cannot open output");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"tasd-bench-coldstart-v1\",\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", net.name.c_str());
+  std::fprintf(f, "  \"config\": \"2:4\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"layers\": %zu,\n", compiled.layer_count());
+  std::fprintf(f, "  \"configured_layers\": %zu,\n",
+               compiled.configured_count());
+  std::fprintf(f, "  \"bit_exact\": true,\n");
+  std::fprintf(f, "  \"compile_ms\": %.6f,\n", compile_ms);
+  std::fprintf(f, "  \"load_ms\": %.6f,\n", load_ms);
+  std::fprintf(f, "  \"speedup\": %.6f,\n", speedup);
+  std::fprintf(f, "  \"decompositions_compile\": %zu,\n",
+               decompositions_compile);
+  std::fprintf(f, "  \"decompositions_load\": %zu,\n", decompositions_load);
+  std::fprintf(f, "  \"file_bytes\": %zu,\n",
+               static_cast<std::size_t>(info.file_bytes));
+  std::fprintf(f, "  \"artifact_bytes\": %zu,\n",
+               static_cast<std::size_t>(compiled.artifact_bytes()));
+  std::fprintf(f, "  \"plan_bytes\": %zu\n",
+               static_cast<std::size_t>(compiled.plan_bytes()));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::remove(artifact_path.c_str());
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return 0;
+}

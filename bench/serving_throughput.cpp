@@ -83,6 +83,7 @@ struct KernelSetResult {
   std::string dense_kernel;  ///< resolved registry names
   std::string nm_kernel;
   Index plan_bytes = 0;
+  Index artifact_bytes = 0;  ///< full replica footprint (weights + plans)
   double scaling_b16_over_b1 = 0.0;
   std::vector<rt::ServingThroughput> entries;
 };
@@ -271,6 +272,7 @@ int main(int argc, char** argv) {
     r.dense_kernel = engine.options().dense_kernel;
     r.nm_kernel = engine.options().nm_kernel;
     r.plan_bytes = engine.plan_bytes();
+    r.artifact_bytes = engine.artifact_bytes();
     r.entries = engine.serving_throughput(batch_sizes);
 
     double qps_b1 = 0.0, qps_b16 = 0.0;
@@ -341,8 +343,10 @@ int main(int argc, char** argv) {
     const auto& r = results[s];
     std::fprintf(f, "    {\"kernels\": \"%s\", \"dense_kernel\": \"%s\", ",
                  r.label.c_str(), r.dense_kernel.c_str());
-    std::fprintf(f, "\"nm_kernel\": \"%s\", \"plan_bytes\": %zu,\n",
+    std::fprintf(f, "\"nm_kernel\": \"%s\", \"plan_bytes\": %zu, ",
                  r.nm_kernel.c_str(), static_cast<std::size_t>(r.plan_bytes));
+    std::fprintf(f, "\"artifact_bytes\": %zu,\n",
+                 static_cast<std::size_t>(r.artifact_bytes));
     std::fprintf(f, "     \"tasd_qps_batch16_over_batch1\": %.6f,\n",
                  r.scaling_b16_over_b1);
     std::fprintf(f, "     \"entries\": [\n");

@@ -3,8 +3,10 @@
 // walked end to end through the public API.
 //
 //   build/examples/quickstart
+#include <cstdio>
 #include <iostream>
 
+#include "artifact/artifact.hpp"
 #include "common/table.hpp"
 #include "core/approx_stats.hpp"
 #include "core/tasd_gemm.hpp"
@@ -90,12 +92,25 @@ int main() {
   const bool run_exact = served == series.multiply(b, engine.policy());
   const bool batch_exact = batch_out[0] == served && batch_out[1] == served;
   std::cout << "\ncompiled artifact: " << engine.layer_count() << " layer, "
-            << engine.plan_bytes() << " plan bytes resident; kernels: "
+            << engine.plan_bytes() << " plan bytes resident ("
+            << engine.artifact_bytes() << " with weights); kernels: "
             << engine.options().dense_kernel << " / "
             << engine.options().nm_kernel << "; run() == "
             << "direct series multiply: "
             << (run_exact ? "bit-exact" : "MISMATCH")
             << ", run_batch() == run(): "
             << (batch_exact ? "bit-exact" : "MISMATCH") << '\n';
-  return run_exact && batch_exact ? 0 : 1;
+
+  // 6. Save the artifact and reload it cold — the deployment hand-off.
+  // load_artifact() rebuilds the plan from the serialized compressed
+  // terms (zero decompositions) and must reproduce run() bit-for-bit.
+  const std::string path = "quickstart.tasdart";
+  rt::save_artifact(engine, path);
+  const rt::CompiledNetwork reloaded = rt::load_artifact(path);
+  const bool reload_exact = reloaded.run(0, b) == served;
+  std::cout << "saved " << rt::inspect_artifact(path).file_bytes
+            << "-byte artifact; reloaded run() == saved run(): "
+            << (reload_exact ? "bit-exact" : "MISMATCH") << '\n';
+  std::remove(path.c_str());
+  return run_exact && batch_exact && reload_exact ? 0 : 1;
 }

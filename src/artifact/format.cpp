@@ -1,0 +1,32 @@
+#include "artifact/format.hpp"
+
+#include <array>
+
+namespace tasd::artifact {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t size,
+                    std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < size; ++i)
+    c = kCrcTable[(c ^ data[i]) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace tasd::artifact

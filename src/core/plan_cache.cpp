@@ -109,13 +109,14 @@ struct PlanKeyHash {
   }
 };
 
-/// 128-bit content fingerprint: FNV-1a plus an independent
-/// multiply-rotate hash over the matrix bytes. Cheap relative to a
-/// decomposition, stable across runs, and a simultaneous collision of
-/// both 64-bit halves (plus shape and config) is ~2^-128 — plans are
-/// the inputs to every downstream numeric result, so a single 64-bit
-/// hash would be too thin a guarantee.
-std::pair<std::uint64_t, std::uint64_t> fingerprint(const MatrixF& m) {
+}  // namespace
+
+// Plans are the inputs to every downstream numeric result, so a single
+// 64-bit hash would be too thin a guarantee — see the header contract.
+// Byte-order note: the hash runs over the in-memory float bytes, so the
+// value is endian-specific; the artifact store records and verifies it
+// on the same convention (docs/artifact.md).
+ContentFingerprint content_fingerprint(const MatrixF& m) {
   std::uint64_t fnv = 1469598103934665603ULL;
   std::uint64_t mix = 0x2b992ddfa23249d6ULL;
   const auto flat = m.flat();
@@ -129,8 +130,6 @@ std::pair<std::uint64_t, std::uint64_t> fingerprint(const MatrixF& m) {
   }
   return {fnv, mix};
 }
-
-}  // namespace
 
 struct PlanCache::Impl {
   mutable Mutex mutex;
@@ -166,8 +165,8 @@ PlanCache& PlanCache::instance() {
 
 std::shared_ptr<const DecompositionPlan> PlanCache::get_or_build(
     const MatrixF& matrix, const TasdConfig& config) {
-  const auto [fp_lo, fp_hi] = fingerprint(matrix);
-  PlanKey key{fp_lo, fp_hi, matrix.rows(), matrix.cols(), config.str()};
+  const auto fp = content_fingerprint(matrix);
+  PlanKey key{fp.lo, fp.hi, matrix.rows(), matrix.cols(), config.str()};
   {
     MutexLock lock(impl_->mutex);
     if (auto it = impl_->index.find(key); it != impl_->index.end()) {
@@ -189,6 +188,32 @@ std::shared_ptr<const DecompositionPlan> PlanCache::get_or_build(
   ++impl_->stats.decompositions;
   if (auto it = impl_->index.find(key); it != impl_->index.end())
     return it->second->second;
+  impl_->lru.emplace_front(key, plan);
+  impl_->index.emplace(std::move(key), impl_->lru.begin());
+  while (impl_->lru.size() > impl_->capacity) {
+    impl_->index.erase(impl_->lru.back().first);
+    impl_->lru.pop_back();
+    ++impl_->stats.evictions;
+  }
+  return plan;
+}
+
+std::shared_ptr<const DecompositionPlan> PlanCache::insert_preloaded(
+    const MatrixF& matrix, std::shared_ptr<const DecompositionPlan> plan) {
+  TASD_CHECK_MSG(plan != nullptr, "insert_preloaded requires a plan");
+  TASD_CHECK_MSG(plan->rows == matrix.rows() && plan->cols == matrix.cols(),
+                 "preloaded plan is " << plan->rows << "x" << plan->cols
+                                      << ", matrix is " << matrix.rows() << "x"
+                                      << matrix.cols());
+  const auto fp = content_fingerprint(matrix);
+  PlanKey key{fp.lo, fp.hi, matrix.rows(), matrix.cols(), plan->config.str()};
+
+  MutexLock lock(impl_->mutex);
+  ++impl_->stats.preloads;
+  if (auto it = impl_->index.find(key); it != impl_->index.end()) {
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+    return it->second->second;
+  }
   impl_->lru.emplace_front(key, plan);
   impl_->index.emplace(std::move(key), impl_->lru.begin());
   while (impl_->lru.size() > impl_->capacity) {

@@ -55,6 +55,23 @@ struct DecompositionPlan {
 /// intermediates). Uncached building block; prefer plan_cache().
 DecompositionPlan build_plan(const MatrixF& matrix, const TasdConfig& config);
 
+/// 128-bit content fingerprint over a matrix's bytes: FNV-1a plus an
+/// independent multiply-rotate hash. Cheap relative to a decomposition,
+/// stable across runs and processes, and a simultaneous collision of
+/// both 64-bit halves (plus shape and config) is ~2^-128. The PlanCache
+/// keys on it, and the artifact store (src/artifact/) writes it next to
+/// every serialized section so a load can verify it binds plans to the
+/// weights they were decomposed from.
+struct ContentFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const ContentFingerprint&,
+                         const ContentFingerprint&) = default;
+};
+
+ContentFingerprint content_fingerprint(const MatrixF& m);
+
 /// Cache observability counters (monotonic since process start or the
 /// last reset_stats()).
 struct PlanCacheStats {
@@ -62,6 +79,7 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t decompositions = 0;  ///< plans actually built (== misses)
   std::uint64_t evictions = 0;
+  std::uint64_t preloads = 0;  ///< plans adopted via insert_preloaded()
 };
 
 /// Thread-safe LRU cache of DecompositionPlans keyed on (matrix
@@ -83,6 +101,17 @@ class PlanCache {
   /// it on miss.
   std::shared_ptr<const DecompositionPlan> get_or_build(
       const MatrixF& matrix, const TasdConfig& config);
+
+  /// Adopt a plan that was built elsewhere (the artifact loader,
+  /// src/artifact/) under exactly the key get_or_build() would use for
+  /// (matrix, plan->config) — so later compiles of the same weights hit
+  /// without decomposing. Counts as neither hit, miss nor decomposition;
+  /// PlanCacheStats::preloads tracks it. The plan's shape and config
+  /// must describe `matrix` (checked). Returns the resident plan: when
+  /// the key is already cached the existing entry wins, preserving
+  /// sharing between artifacts that were loaded or compiled earlier.
+  std::shared_ptr<const DecompositionPlan> insert_preloaded(
+      const MatrixF& matrix, std::shared_ptr<const DecompositionPlan> plan);
 
   [[nodiscard]] PlanCacheStats stats() const;
   void reset_stats();

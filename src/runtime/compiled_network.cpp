@@ -72,6 +72,20 @@ Index CompiledNetwork::plan_bytes() const {
   return total;
 }
 
+Index CompiledNetwork::artifact_bytes() const {
+  Index total = 0;
+  for (const auto& l : layers_) {
+    total += l.weight.size() * sizeof(float);
+    if (l.plan) {
+      total += l.plan->storage_bytes();
+      // Plan metadata: shape, the config's term patterns, quality stats.
+      total += 2 * sizeof(Index) + sizeof(ApproxStats) +
+               l.plan->config.terms.size() * sizeof(sparse::NMPattern);
+    }
+  }
+  return total;
+}
+
 ExecPolicy CompiledNetwork::policy() const {
   ExecPolicy p;
   p.pool = pool_.get();
@@ -230,9 +244,11 @@ std::vector<ServingThroughput> CompiledNetwork::serving_throughput(
   return out;
 }
 
-CompiledNetwork compile(std::string name,
-                        std::vector<dnn::LayerBinding> layers,
-                        const CompileOptions& opt) {
+namespace detail {
+
+CompiledNetwork assemble_network(std::string name,
+                                 std::vector<PreboundLayer> layers,
+                                 const CompileOptions& opt) {
   TASD_CHECK_MSG(opt.n_divisor >= 1, "n_divisor must be >= 1");
   TASD_CHECK_MSG(opt.query_cols >= 1, "query_cols must be >= 1");
   // Kernel binding happens now, not at first execution: "auto" resolves
@@ -241,7 +257,8 @@ CompiledNetwork compile(std::string name,
   // unregistered name fails at compile time with the registry's
   // descriptive error. The artifact stores the *resolved* names: its
   // kernel binding never changes after compile, even if the registry
-  // gains kernels later.
+  // gains kernels later. (This is also why a serialized artifact stores
+  // no kernel names: a load re-enters this resolution on its own host.)
   const auto& dispatch = GemmDispatch::instance();
   CompiledNetwork cn;
   cn.name_ = std::move(name);
@@ -259,15 +276,28 @@ CompiledNetwork compile(std::string name,
   if (opt.measure.num_threads != 0)
     cn.pool_ = std::make_unique<ThreadPool>(opt.measure.num_threads);
   cn.layers_.reserve(layers.size());
-  for (auto& binding : layers) {
+  for (auto& prebound : layers) {
     CompiledNetwork::BoundLayer l;
-    l.name = std::move(binding.name);
-    l.m = binding.weight.rows();
-    l.k = binding.weight.cols();
-    l.n = binding.positions;
-    l.weight = std::move(binding.weight);
-    l.config = std::move(binding.config);
-    if (l.config) {
+    l.name = std::move(prebound.name);
+    l.m = prebound.weight.rows();
+    l.k = prebound.weight.cols();
+    l.n = prebound.positions;
+    l.weight = std::move(prebound.weight);
+    l.config = std::move(prebound.config);
+    if (prebound.plan) {
+      // Prebuilt (deserialized) plan: bind it directly — the zero-
+      // decomposition load path. The plan must describe this layer.
+      TASD_CHECK_MSG(l.config && prebound.plan->config == *l.config,
+                     "prebuilt plan config does not match layer '" << l.name
+                                                                   << "'");
+      TASD_CHECK_MSG(prebound.plan->rows == l.m && prebound.plan->cols == l.k,
+                     "prebuilt plan shape " << prebound.plan->rows << "x"
+                                            << prebound.plan->cols
+                                            << " does not match layer '"
+                                            << l.name << "' (" << l.m << "x"
+                                            << l.k << ")");
+      l.plan = std::move(prebound.plan);
+    } else if (l.config) {
       // The one decomposition of this layer's lifetime: through the
       // shared cache (so sibling artifacts and future compiles reuse
       // it), or a private plan when the cache is opted out.
@@ -275,6 +305,8 @@ CompiledNetwork compile(std::string name,
                    ? plan_cache().get_or_build(l.weight, *l.config)
                    : std::make_shared<const DecompositionPlan>(
                          build_plan(l.weight, *l.config));
+    }
+    if (l.plan) {
       l.series.emplace(l.plan);
       l.kept_nnz_fraction = static_cast<double>(l.series->nnz()) /
                             static_cast<double>(l.weight.size());
@@ -282,6 +314,24 @@ CompiledNetwork compile(std::string name,
     cn.layers_.push_back(std::move(l));
   }
   return cn;
+}
+
+}  // namespace detail
+
+CompiledNetwork compile(std::string name,
+                        std::vector<dnn::LayerBinding> layers,
+                        const CompileOptions& opt) {
+  std::vector<detail::PreboundLayer> prebound;
+  prebound.reserve(layers.size());
+  for (auto& binding : layers) {
+    detail::PreboundLayer l;
+    l.name = std::move(binding.name);
+    l.positions = binding.positions;
+    l.weight = std::move(binding.weight);
+    l.config = std::move(binding.config);
+    prebound.push_back(std::move(l));
+  }
+  return detail::assemble_network(std::move(name), std::move(prebound), opt);
 }
 
 CompiledNetwork compile(const dnn::NetworkWorkload& net,

@@ -151,6 +151,35 @@ struct CompileOptions {
   bool validate_inputs = false;
 };
 
+class CompiledNetwork;
+
+namespace detail {
+
+/// One layer the way the artifact loader (src/artifact/) reconstructs
+/// it: weight plus an already-built DecompositionPlan instead of a
+/// decomposition request. `plan` null means dense (config must be
+/// nullopt) or, on the compile() path, "decompose per CompileOptions".
+struct PreboundLayer {
+  std::string name;
+  Index positions = 0;
+  MatrixF weight;
+  std::optional<TasdConfig> config;
+  std::shared_ptr<const DecompositionPlan> plan;
+};
+
+/// Assemble an artifact from layers whose plans may be prebuilt: a
+/// layer carrying a plan binds it directly — zero decompositions — and
+/// a configured layer without one decomposes exactly as compile() does.
+/// Kernel names resolve through GemmDispatch at assembly time ("auto" →
+/// best_*()), so a deserialized network re-binds the fastest kernels
+/// registered on the *loading* host. This is the single constructor
+/// path behind both rt::compile() and rt::load_artifact().
+CompiledNetwork assemble_network(std::string name,
+                                 std::vector<PreboundLayer> layers,
+                                 const CompileOptions& opt);
+
+}  // namespace detail
+
 /// An immutable executable artifact: per-layer bound kernels (dense or
 /// TASD series), shared decomposition plans, and the execution policy.
 /// Move-only; all methods are const.
@@ -186,6 +215,13 @@ class CompiledNetwork {
   /// Compressed plan footprint in bytes across configured layers — the
   /// per-artifact memory a serving process holds resident.
   [[nodiscard]] Index plan_bytes() const;
+
+  /// Honest full footprint of everything the artifact store serializes
+  /// for this network: weight bytes + compressed term buffers
+  /// (plan_bytes) + per-plan metadata (shape, config patterns, quality
+  /// stats). plan_bytes() alone understates what a replica must hold
+  /// (and what save_artifact writes) because the weights dominate it.
+  [[nodiscard]] Index artifact_bytes() const;
 
   /// Check one right-hand side against layer(layer_index)'s contract:
   /// the row count always, and value finiteness when the artifact was
@@ -249,9 +285,9 @@ class CompiledNetwork {
   [[nodiscard]] ExecPolicy policy() const;
 
  private:
-  friend CompiledNetwork compile(std::string name,
-                                 std::vector<dnn::LayerBinding> layers,
-                                 const CompileOptions& opt);
+  friend CompiledNetwork detail::assemble_network(
+      std::string name, std::vector<detail::PreboundLayer> layers,
+      const CompileOptions& opt);
   CompiledNetwork() = default;
 
   std::string name_;

@@ -8,6 +8,43 @@
 
 #include "common/error.hpp"
 
+namespace tasd::io {
+
+std::vector<unsigned char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good())
+    throw Error(Error::Code::kInvalidArgument,
+                "cannot open '" + path + "' for reading");
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+  if (!bytes.empty())
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!in.good() && !bytes.empty())
+    throw Error(Error::Code::kInternal,
+                "short read from '" + path + "' (wanted " +
+                    std::to_string(bytes.size()) + " bytes)");
+  return bytes;
+}
+
+void write_file(const std::string& path,
+                std::span<const unsigned char> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good())
+    throw Error(Error::Code::kInvalidArgument,
+                "cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good())
+    throw Error(Error::Code::kInternal,
+                "short write to '" + path + "' (wanted " +
+                    std::to_string(bytes.size()) + " bytes)");
+}
+
+}  // namespace tasd::io
+
 namespace tasd {
 
 namespace {
@@ -54,10 +91,9 @@ MatrixF load_matrix_csv(const std::string& path) {
     if (rows == 0) {
       cols = line_cols;
     } else {
-      TASD_CHECK_MSG(line_cols == cols, "ragged CSV: row " << rows << " has "
-                                                           << line_cols
-                                                           << " cells, expected "
-                                                           << cols);
+      TASD_CHECK_MSG(line_cols == cols,
+                     "ragged CSV: row " << rows << " has " << line_cols
+                                        << " cells, expected " << cols);
     }
     ++rows;
   }
@@ -66,37 +102,42 @@ MatrixF load_matrix_csv(const std::string& path) {
 }
 
 void save_matrix_binary(const MatrixF& m, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  TASD_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  out.write(kMagic, sizeof kMagic);
-  const std::uint64_t rows = m.rows();
-  const std::uint64_t cols = m.cols();
-  out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
-  out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(float)));
-  TASD_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  io::ByteWriter w;
+  w.bytes(kMagic, sizeof kMagic);
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.f32_array(m.flat());
+  io::write_file(path, w.data());
 }
 
 MatrixF load_matrix_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  TASD_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  const auto bytes = io::read_file(path);
+  if (bytes.size() < sizeof kMagic)
+    throw Error(Error::Code::kInternal,
+                "'" + path + "' is truncated before the magic");
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw Error(Error::Code::kFailedPrecondition,
+                "'" + path + "' is not a TASD matrix file");
+  io::ByteReader r(bytes, "matrix file '" + path + "'");
   char magic[sizeof kMagic];
-  in.read(magic, sizeof magic);
-  TASD_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-                 "'" << path << "' is not a TASD matrix file");
-  std::uint64_t rows = 0;
-  std::uint64_t cols = 0;
-  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
-  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
-  TASD_CHECK_MSG(in.good(), "truncated header in '" << path << "'");
-  TASD_CHECK_MSG(rows * cols < (1ULL << 32),
-                 "implausible matrix size in '" << path << "'");
+  r.bytes(magic, sizeof magic);
+  const std::uint64_t rows = r.u64();
+  const std::uint64_t cols = r.u64();
+  // Guard the element count before multiplying: with both factors below
+  // 2^32 the u64 product cannot wrap, so a crafted header can neither
+  // pass the size check via overflow nor drive a huge allocation.
+  if (rows >= (1ULL << 32) || cols >= (1ULL << 32) ||
+      rows * cols >= (1ULL << 32))
+    throw Error(Error::Code::kInternal,
+                "size-overflow header in '" + path + "' (" +
+                    std::to_string(rows) + "x" + std::to_string(cols) + ")");
+  const std::uint64_t expected = rows * cols * sizeof(float);
+  if (r.remaining() != expected)
+    throw Error(Error::Code::kInternal,
+                "'" + path + "' holds " + std::to_string(r.remaining()) +
+                    " data bytes, header claims " + std::to_string(expected));
   MatrixF m(static_cast<Index>(rows), static_cast<Index>(cols));
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(m.size() * sizeof(float)));
-  TASD_CHECK_MSG(in.good() || m.size() == 0,
-                 "truncated data in '" << path << "'");
+  r.f32_array(m.flat());
   return m;
 }
 

@@ -153,6 +153,53 @@ TEST(PlanCacheBehavior, ClearDropsPlansAndKeepsCounters) {
   EXPECT_EQ(cache.stats().misses, 0u);
 }
 
+TEST(PlanCacheBehavior, InsertPreloadedAdoptsWithoutDecomposing) {
+  PlanCache cache(8);
+  const auto cfg = TasdConfig::parse("2:4");
+  const MatrixF m = test_matrix(8, 16, 0.5, 5001);
+  auto plan = std::make_shared<const DecompositionPlan>(build_plan(m, cfg));
+
+  const auto resident = cache.insert_preloaded(m, plan);
+  const auto stats = cache.stats();
+  EXPECT_EQ(resident.get(), plan.get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(stats.preloads, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.decompositions, 0u)
+      << "adoption must count as neither hit, miss nor decomposition";
+
+  // Later lookups of the same (matrix, config) hit the adopted entry.
+  const auto p2 = cache.get_or_build(m, cfg);
+  EXPECT_EQ(p2.get(), plan.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().decompositions, 0u);
+}
+
+TEST(PlanCacheBehavior, InsertPreloadedExistingEntryWins) {
+  PlanCache cache(8);
+  const auto cfg = TasdConfig::parse("2:4");
+  const MatrixF m = test_matrix(8, 16, 0.5, 5002);
+  const auto cached = cache.get_or_build(m, cfg);
+  auto duplicate =
+      std::make_shared<const DecompositionPlan>(build_plan(m, cfg));
+  const auto resident = cache.insert_preloaded(m, duplicate);
+  EXPECT_EQ(resident.get(), cached.get())
+      << "a plan already resident keeps winning, preserving sharing";
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().preloads, 1u);
+}
+
+TEST(PlanCacheBehavior, InsertPreloadedRejectsMismatchedPlan) {
+  PlanCache cache(8);
+  const auto cfg = TasdConfig::parse("2:4");
+  const MatrixF m = test_matrix(8, 16, 0.5, 5003);
+  const MatrixF other = test_matrix(8, 24, 0.5, 5004);  // different shape
+  auto plan = std::make_shared<const DecompositionPlan>(build_plan(m, cfg));
+  EXPECT_THROW((void)cache.insert_preloaded(other, plan), Error);
+  EXPECT_THROW((void)cache.insert_preloaded(m, nullptr), Error);
+}
+
 TEST(PlanCacheIntegration, ApproxStatsAndApproximateAreCached) {
   auto& cache = plan_cache();
   const auto cfg = TasdConfig::parse("4:8+1:8");

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "tensor/generator.hpp"
@@ -64,6 +65,99 @@ TEST(MatrixIo, WrongMagicRejected) {
   std::ofstream(path, std::ios::binary) << "GARBAGE!" << std::string(16, 'x');
   EXPECT_THROW(load_matrix_binary(path), Error);
   std::remove(path.c_str());
+}
+
+/// The error code a callable fails with (nullopt = it didn't throw).
+template <typename Fn>
+std::optional<Error::Code> failure_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return std::nullopt;
+}
+
+TEST(MatrixIo, WrongMagicIsFailedPrecondition) {
+  const auto path = temp_path("notmat2.bin");
+  std::ofstream(path, std::ios::binary) << "GARBAGE!" << std::string(16, 'x');
+  EXPECT_EQ(failure_code([&] { (void)load_matrix_binary(path); }),
+            Error::Code::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinaryTruncationIsInternal) {
+  Rng rng(9103);
+  const MatrixF m = random_dense(6, 9, Dist::kNormalStd1, rng);
+  const auto path = temp_path("trunc.bin");
+  save_matrix_binary(m, path);
+  const auto bytes = io::read_file(path);
+  // Shorter than the magic, mid-header, and mid-payload.
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{12},
+                                 bytes.size() - 3}) {
+    io::write_file(path, std::span(bytes).subspan(0, keep));
+    EXPECT_EQ(failure_code([&] { (void)load_matrix_binary(path); }),
+              Error::Code::kInternal)
+        << "kept " << keep << " of " << bytes.size() << " bytes";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinaryTrailingBytesAreInternal) {
+  Rng rng(9104);
+  const MatrixF m = random_dense(3, 4, Dist::kNormalStd1, rng);
+  const auto path = temp_path("trail.bin");
+  save_matrix_binary(m, path);
+  auto bytes = io::read_file(path);
+  bytes.push_back(0);
+  io::write_file(path, bytes);
+  EXPECT_EQ(failure_code([&] { (void)load_matrix_binary(path); }),
+            Error::Code::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, BinarySizeOverflowHeaderIsInternal) {
+  // rows * cols wraps past 2^32: the reader must refuse before
+  // attempting a bogus allocation or a short read.
+  const auto path = temp_path("overflow.bin");
+  io::ByteWriter w;
+  w.bytes("TASDMAT1", 8);
+  w.u64(1ULL << 31);
+  w.u64(1ULL << 31);
+  io::write_file(path, w.data());
+  EXPECT_EQ(failure_code([&] { (void)load_matrix_binary(path); }),
+            Error::Code::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixIo, ByteWriterReaderRoundTripAndPadding) {
+  io::ByteWriter w;
+  w.u32(0x01020304U);
+  w.f32(-1.5F);
+  w.pad_to(8);
+  w.u64(0x1122334455667788ULL);
+  w.f64(2.5);
+  const std::vector<float> fs{1.0F, -0.0F, 3.5F};
+  w.f32_array(fs);
+  w.pad_to(8);
+  EXPECT_EQ(w.size() % 8, 0u);
+  // The stream is defined little-endian regardless of host order.
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+
+  io::ByteReader r(w.data(), "round-trip");
+  EXPECT_EQ(r.u32(), 0x01020304U);
+  EXPECT_EQ(r.f32(), -1.5F);
+  r.skip_pad(8);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.f64(), 2.5);
+  std::vector<float> back(3);
+  r.f32_array(back);
+  EXPECT_EQ(back, fs);
+  r.skip_pad(8);
+  EXPECT_EQ(r.remaining(), 0u);
+  // Over-read past the end: typed kInternal naming the context.
+  EXPECT_EQ(failure_code([&] { (void)r.u32(); }), Error::Code::kInternal);
 }
 
 TEST(MatrixIo, SpecialValuesSurviveCsv) {
