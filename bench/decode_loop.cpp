@@ -32,6 +32,7 @@
 // docs/reproducing.md and docs/executor.md).
 //
 // Usage: decode_loop [output.json] [--quick]
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -122,16 +123,31 @@ int main(int argc, char** argv) {
     scalar.dense_batch_kernel = "batch-packed";
     scalar.nm_batch_kernel = "batch-packed";
     kernel_sets.emplace_back("scalar", scalar);
-    // Gate on registry membership, not avx2_available(): a toolchain
-    // whose compiler rejects -mavx2 builds no AVX2 kernels even on
+    // Gate on registry membership, not *_available(): a toolchain whose
+    // compiler rejects -mavx2/-mavx512f builds no SIMD kernels even on
     // capable hardware, and compiling an unregistered name would throw.
-    if (rt::GemmDispatch::instance().best_dense() == "dense-avx2") {
+    // (best_dense() no longer works as the gate — on an AVX-512 host it
+    // names the avx512 kernel, which must not hide the avx2 set.)
+    const auto dense_names = rt::GemmDispatch::instance().dense_kernels();
+    const auto registered = [&](const char* name) {
+      return std::find(dense_names.begin(), dense_names.end(), name) !=
+             dense_names.end();
+    };
+    if (registered("dense-avx2")) {
       rt::CompileOptions simd = scalar;
       simd.dense_kernel = "dense-avx2";
       simd.nm_kernel = "nm-avx2";
       simd.dense_batch_kernel = "dense-batch-avx2";
       simd.nm_batch_kernel = "nm-batch-avx2";
       kernel_sets.emplace_back("avx2", simd);
+    }
+    if (registered("dense-avx512")) {
+      rt::CompileOptions simd = scalar;
+      simd.dense_kernel = "dense-avx512";
+      simd.nm_kernel = "nm-avx512";
+      simd.dense_batch_kernel = "dense-batch-avx512";
+      simd.nm_batch_kernel = "nm-batch-avx512";
+      kernel_sets.emplace_back("avx512", simd);
     }
   }
 
@@ -151,6 +167,20 @@ int main(int argc, char** argv) {
         r.dense_kernel = engine.options().dense_kernel;
         r.nm_kernel = engine.options().nm_kernel;
         const rt::PipelinedExecutor exec(engine);
+
+        // Dedicated warmup for this kernel set / pool / kv cell: spin
+        // the pool up, fault the weights in, and let every execution
+        // path touch its buffers once before anything is timed —
+        // otherwise the first row of each sweep absorbs those one-time
+        // costs and reads slower than the identical later rows.
+        {
+          Rng wrng(8001 + static_cast<std::uint64_t>(kv));
+          const std::vector<MatrixF> warm = {
+              random_dense(kHidden, 1, Dist::kNormalStd1, wrng)};
+          (void)engine.run_network(warm[0]);
+          (void)engine.run_network_batch(warm);
+          (void)exec.run_batch(warm);
+        }
 
         Rng rng(9001 + static_cast<std::uint64_t>(kv));
         for (const std::size_t batch : batches) {

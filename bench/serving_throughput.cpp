@@ -25,6 +25,7 @@
 // wrong-but-fast batch kernel fails loudly here (non-zero exit).
 //
 // Usage: serving_throughput [output.json] [--quick]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <future>
@@ -227,16 +228,31 @@ int main(int argc, char** argv) {
     scalar.dense_batch_kernel = "batch-packed";
     scalar.nm_batch_kernel = "batch-packed";
     kernel_sets.emplace_back("scalar", scalar);
-    // Gate on registry membership, not avx2_available(): a toolchain
-    // whose compiler rejects -mavx2 builds no AVX2 kernels even on
+    // Gate on registry membership, not *_available(): a toolchain whose
+    // compiler rejects -mavx2/-mavx512f builds no SIMD kernels even on
     // capable hardware, and compiling an unregistered name would throw.
-    if (rt::GemmDispatch::instance().best_dense() == "dense-avx2") {
+    // (best_dense() no longer works as the gate — on an AVX-512 host it
+    // names the avx512 kernel, which must not hide the avx2 set.)
+    const auto dense_names = rt::GemmDispatch::instance().dense_kernels();
+    const auto registered = [&](const char* name) {
+      return std::find(dense_names.begin(), dense_names.end(), name) !=
+             dense_names.end();
+    };
+    if (registered("dense-avx2")) {
       rt::CompileOptions simd = scalar;
       simd.dense_kernel = "dense-avx2";
       simd.nm_kernel = "nm-avx2";
       simd.dense_batch_kernel = "dense-batch-avx2";
       simd.nm_batch_kernel = "nm-batch-avx2";
       kernel_sets.emplace_back("avx2", simd);
+    }
+    if (registered("dense-avx512")) {
+      rt::CompileOptions simd = scalar;
+      simd.dense_kernel = "dense-avx512";
+      simd.nm_kernel = "nm-avx512";
+      simd.dense_batch_kernel = "dense-batch-avx512";
+      simd.nm_batch_kernel = "nm-batch-avx512";
+      kernel_sets.emplace_back("avx512", simd);
     }
   }
 
@@ -264,6 +280,11 @@ int main(int argc, char** argv) {
                    "sweep **\n");
       return 1;
     }
+
+    // Dedicated warmup for this kernel set before any timed row: the
+    // smallest batch once through the full sweep machinery, so pool
+    // spin-up and cold weights are paid here and not by the first row.
+    (void)engine.serving_throughput({batch_sizes.front()});
 
     std::fprintf(stderr, "[%s] measuring %zu batch sizes...\n", label.c_str(),
                  batch_sizes.size());

@@ -38,6 +38,7 @@
 #include "core/plan_cache.hpp"
 #include "dnn/layer_binding.hpp"
 #include "dnn/workloads.hpp"
+#include "runtime/autotune.hpp"
 #include "runtime/nm_gemm.hpp"
 
 namespace tasd::rt {
@@ -120,6 +121,18 @@ struct ServingThroughput {
   double tasd_qps = 0.0;   ///< batch_size / TASD seconds
 };
 
+/// How compile() binds each layer's kernels.
+enum class KernelPolicy {
+  /// One network-wide binding from the kernel-name options below
+  /// ("auto" → GemmDispatch::best_*()). Free; no measurement.
+  kStatic,
+  /// Micro-bench every registered candidate per layer on the compiling
+  /// host and bind the per-layer winner, recording a TuningResult on the
+  /// artifact (runtime/autotune.hpp). Costs repeats x candidates x
+  /// layers timed kernel runs at compile time.
+  kAutotune,
+};
+
 /// Everything fixed at compile time: measurement knobs, the measurement
 /// shape shrink, the serving query width, and kernel selection.
 struct CompileOptions {
@@ -144,6 +157,15 @@ struct CompileOptions {
   std::string nm_kernel = "auto";
   std::string dense_batch_kernel = "auto";
   std::string nm_batch_kernel = "auto";
+  /// kAutotune measures candidates per layer and overrides the
+  /// network-wide names above with each layer's winner (the names still
+  /// bind measure()'s dense-vs-TASD comparison and the tuning fallback).
+  KernelPolicy kernel_policy = KernelPolicy::kStatic;
+  /// Batch-slot tuning workload: this many query_cols-wide right-hand
+  /// sides per timed batch call. Match it to the serving batch size the
+  /// artifact will see; 16 is the knee of the batching curve in
+  /// BENCH_serving.json.
+  std::size_t autotune_batch_hint = 16;
   /// Opt-in activation guard: run()/run_batch() reject NaN/Inf inputs
   /// with a tasd::Error (kInvalidArgument) naming the offending batch
   /// item, instead of silently producing garbage. Costs one pass over
@@ -174,9 +196,16 @@ struct PreboundLayer {
 /// best_*()), so a deserialized network re-binds the fastest kernels
 /// registered on the *loading* host. This is the single constructor
 /// path behind both rt::compile() and rt::load_artifact().
+///
+/// `restored` is the load path's deserialized TuningResult: when it
+/// transfers to this host (signature match, kernels registered —
+/// detail::apply_tuning) it rebinds the layers without re-measuring;
+/// otherwise the static resolution stands, and opt.kernel_policy ==
+/// kAutotune re-tunes from scratch exactly as a fresh compile would.
 CompiledNetwork assemble_network(std::string name,
                                  std::vector<PreboundLayer> layers,
-                                 const CompileOptions& opt);
+                                 const CompileOptions& opt,
+                                 const TuningResult* restored = nullptr);
 
 }  // namespace detail
 
@@ -197,6 +226,12 @@ class CompiledNetwork {
     /// Bound structured kernel; engaged exactly when config is.
     std::optional<TasdSeriesGemm> series;
     double kept_nnz_fraction = 0.0;  ///< stored values / total positions
+    /// Per-layer kernel binding run()/run_batch() execute through: N:M
+    /// slot names when `series` is bound, dense slot names otherwise.
+    /// Initialized to the network-wide resolved names; kAutotune and a
+    /// restored artifact tuning rebind them per layer.
+    std::string kernel;
+    std::string batch_kernel;
   };
 
   CompiledNetwork(CompiledNetwork&&) = default;
@@ -280,19 +315,37 @@ class CompiledNetwork {
   [[nodiscard]] std::vector<ServingThroughput> serving_throughput(
       const std::vector<std::size_t>& batch_sizes = {1, 4, 16, 64}) const;
 
-  /// The execution policy every method runs under (the artifact's pool
-  /// binding and kernel selection).
+  /// The network-wide execution policy (the artifact's pool binding and
+  /// resolved kernel-name options) — what measure() and the dense-vs-
+  /// TASD comparison paths run under. run()/run_batch() execute through
+  /// layer_policy(), which overlays the per-layer binding.
   [[nodiscard]] ExecPolicy policy() const;
+
+  /// policy() with layer i's own kernel/batch_kernel binding substituted
+  /// into the slot pair the layer executes (N:M when configured, dense
+  /// otherwise) — the exact policy run()/run_batch() pass to the kernels.
+  [[nodiscard]] ExecPolicy layer_policy(std::size_t i) const;
+
+  /// The per-layer tuning record when this artifact was autotuned (at
+  /// compile, or restored from a saved artifact); nullopt for static
+  /// bindings.
+  [[nodiscard]] const std::optional<TuningResult>& tuning() const {
+    return tuning_;
+  }
 
  private:
   friend CompiledNetwork detail::assemble_network(
       std::string name, std::vector<detail::PreboundLayer> layers,
-      const CompileOptions& opt);
+      const CompileOptions& opt, const TuningResult* restored);
+  friend TuningResult detail::run_autotune(CompiledNetwork& net);
+  friend bool detail::apply_tuning(CompiledNetwork& net,
+                                   const TuningResult& tuning);
   CompiledNetwork() = default;
 
   std::string name_;
   CompileOptions opt_;
   std::vector<BoundLayer> layers_;
+  std::optional<TuningResult> tuning_;
   /// Dedicated pool when opt_.measure.num_threads != 0 (unique_ptr so
   /// the ExecPolicy pool pointer survives moves of the artifact).
   std::unique_ptr<ThreadPool> pool_;

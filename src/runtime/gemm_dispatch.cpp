@@ -11,6 +11,9 @@
 #ifdef TASD_HAVE_AVX2_KERNELS
 #include "runtime/kernels_avx2.hpp"
 #endif
+#ifdef TASD_HAVE_AVX512_KERNELS
+#include "runtime/kernels_avx512.hpp"
+#endif
 
 namespace tasd::rt {
 
@@ -267,10 +270,14 @@ GemmDispatch::GemmDispatch() : impl_(new Impl) {
     impl_->default_nm_batch = "batch-packed";
   }
 #ifdef TASD_HAVE_AVX2_KERNELS
-  // Runtime-gated SIMD backend: registered only when the executing
-  // CPU/OS can run it (and TASD_DISABLE_AVX2 is unset). Defaults stay
-  // scalar; best_*() prefers these names when present.
+  // Runtime-gated SIMD backends: registered only when the executing
+  // CPU/OS can run them (and the TASD_DISABLE_* escape hatch is unset).
+  // Defaults stay scalar; best_*() prefers these names when present.
   if (avx2_available()) register_avx2_kernels(*this);
+#endif
+#ifdef TASD_HAVE_AVX512_KERNELS
+  // Gated independently of AVX2 so CI can pin either family alone.
+  if (avx512_available()) register_avx512_kernels(*this);
 #endif
 }
 
@@ -386,28 +393,38 @@ std::string GemmDispatch::default_nm_batch() const {
   return impl_->default_nm_batch;
 }
 
+// The static fallback chain: widest registered SIMD family first
+// (avx512 > avx2), the scalar registry default last. Per-layer
+// autotuning (runtime/autotune.hpp) refines this by measurement; these
+// remain the kStatic binding and the tuning fallback on a host-signature
+// mismatch.
 std::string GemmDispatch::best_dense() const {
   MutexLock lock(impl_->mutex);
-  return impl_->dense.contains("dense-avx2") ? "dense-avx2"
-                                             : impl_->default_dense;
+  if (impl_->dense.contains("dense-avx512")) return "dense-avx512";
+  if (impl_->dense.contains("dense-avx2")) return "dense-avx2";
+  return impl_->default_dense;
 }
 
 std::string GemmDispatch::best_nm() const {
   MutexLock lock(impl_->mutex);
-  return impl_->nm.contains("nm-avx2") ? "nm-avx2" : impl_->default_nm;
+  if (impl_->nm.contains("nm-avx512")) return "nm-avx512";
+  if (impl_->nm.contains("nm-avx2")) return "nm-avx2";
+  return impl_->default_nm;
 }
 
 std::string GemmDispatch::best_dense_batch() const {
   MutexLock lock(impl_->mutex);
-  return impl_->dense_batch.contains("dense-batch-avx2")
-             ? "dense-batch-avx2"
-             : impl_->default_dense_batch;
+  if (impl_->dense_batch.contains("dense-batch-avx512"))
+    return "dense-batch-avx512";
+  if (impl_->dense_batch.contains("dense-batch-avx2")) return "dense-batch-avx2";
+  return impl_->default_dense_batch;
 }
 
 std::string GemmDispatch::best_nm_batch() const {
   MutexLock lock(impl_->mutex);
-  return impl_->nm_batch.contains("nm-batch-avx2") ? "nm-batch-avx2"
-                                                   : impl_->default_nm_batch;
+  if (impl_->nm_batch.contains("nm-batch-avx512")) return "nm-batch-avx512";
+  if (impl_->nm_batch.contains("nm-batch-avx2")) return "nm-batch-avx2";
+  return impl_->default_nm_batch;
 }
 
 DenseKernel GemmDispatch::dense(const std::string& name) const {

@@ -1,0 +1,300 @@
+// AVX-512 GEMM kernels. Compiled with -mavx512f -mavx512bw; executed
+// only when runtime detection (tasd::avx512_available) registered them.
+//
+// The bit-exactness discipline (docs/kernels.md): one accumulator chain
+// per output element, advanced by exactly one fused multiply-add per
+// k-step (dense) or stored value (N:M), k/value order ascending. A ZMM
+// FMA rounds each lane exactly like a YMM FMA rounds each of its lanes,
+// so these kernels are bit-identical to the AVX2 family, not merely
+// tolerance-close — the two SIMD backends form one rounding family and
+// the autotuner can swap between them per layer without changing a bit
+// of output. Sub-vector column tails run the same chain through
+// __mmask16 masked loads/stores (zero-masked loads never fault on and
+// never read the disabled lanes).
+//
+// The dense core mirrors kernels_avx2.cpp: a 512-column macro tile
+// processed for a whole block of output rows, accumulating 4 rows per
+// pass. The N:M core goes further than its AVX2 twin: output rows
+// advance through the k blocks as a group (so a block's B slab is
+// L1-hot for every row after the first) and row pairs take 128-column
+// register blocks, because the compressed traversal is bound by loads
+// and per-stored-value overhead (broadcast + index fetch), not FMA
+// throughput. On narrow serving shapes (GEMV, width ≤ 8) almost
+// everything runs through the masked tail, which is why the autotuner —
+// not a static "widest wins" rule — picks between avx512/avx2/scalar
+// per layer.
+#include "runtime/kernels_avx512.hpp"
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace tasd::rt {
+
+namespace {
+
+// Row grain of the parallel_for partition; matches the scalar and AVX2
+// kernels so thread scheduling granularity is comparable across families
+// (the grain never affects results, only load balance).
+constexpr std::size_t kRowGrain = 8;
+
+// Column macro tile: keeps B rows' 2 KB segments cache-resident while a
+// row block passes over them (matches the other families' kTileN).
+constexpr Index kMacroTileN = 512;
+
+/// Opmask enabling the first `tail` (1..15) of 16 lanes.
+inline __mmask16 tail_mask(Index tail) {
+  return static_cast<__mmask16>((1U << tail) - 1U);
+}
+
+// ------------------------------------------------------------ dense core
+
+/// Accumulate kRows consecutive output rows of C over columns [c0, c1):
+/// 32-column register blocks (kRows x 2 vector accumulators) so each
+/// loaded B vector feeds kRows FMA chains, then a 16-column block and a
+/// masked-vector tail with the identical per-element chain.
+template <int kRows>
+void dense_rows_avx512(const float* __restrict arow, Index k, const float* bd,
+                       Index n, float* __restrict crow, Index c0, Index c1) {
+  Index j = c0;
+  for (; j + 32 <= c1; j += 32) {
+    __m512 acc0[kRows], acc1[kRows];
+    for (int r = 0; r < kRows; ++r) {
+      acc0[r] = _mm512_loadu_ps(crow + r * n + j);
+      acc1[r] = _mm512_loadu_ps(crow + r * n + j + 16);
+    }
+    for (Index p = 0; p < k; ++p) {
+      const __m512 b0 = _mm512_loadu_ps(bd + p * n + j);
+      const __m512 b1 = _mm512_loadu_ps(bd + p * n + j + 16);
+      for (int r = 0; r < kRows; ++r) {
+        const __m512 av = _mm512_set1_ps(arow[r * k + p]);
+        acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+        acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+      }
+    }
+    for (int r = 0; r < kRows; ++r) {
+      _mm512_storeu_ps(crow + r * n + j, acc0[r]);
+      _mm512_storeu_ps(crow + r * n + j + 16, acc1[r]);
+    }
+  }
+  for (; j + 16 <= c1; j += 16) {
+    __m512 acc[kRows];
+    for (int r = 0; r < kRows; ++r) acc[r] = _mm512_loadu_ps(crow + r * n + j);
+    for (Index p = 0; p < k; ++p) {
+      const __m512 bv = _mm512_loadu_ps(bd + p * n + j);
+      for (int r = 0; r < kRows; ++r)
+        acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arow[r * k + p]), bv, acc[r]);
+    }
+    for (int r = 0; r < kRows; ++r) _mm512_storeu_ps(crow + r * n + j, acc[r]);
+  }
+  if (j < c1) {
+    // Sub-vector column tail: one masked-vector pass, the same
+    // k-ascending fused chain per element as the full blocks (disabled
+    // lanes stay zero through the chain and are never stored).
+    const __mmask16 mask = tail_mask(c1 - j);
+    __m512 acc[kRows];
+    for (int r = 0; r < kRows; ++r)
+      acc[r] = _mm512_maskz_loadu_ps(mask, crow + r * n + j);
+    for (Index p = 0; p < k; ++p) {
+      const __m512 bv = _mm512_maskz_loadu_ps(mask, bd + p * n + j);
+      for (int r = 0; r < kRows; ++r)
+        acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(arow[r * k + p]), bv, acc[r]);
+    }
+    for (int r = 0; r < kRows; ++r)
+      _mm512_mask_storeu_ps(crow + r * n + j, mask, acc[r]);
+  }
+}
+
+// -------------------------------------------------------------- N:M core
+
+/// Accumulate kVecs*16 columns of a group of kRows consecutive C rows
+/// from each row's compressed stored values. The group advances through
+/// the k blocks together, so the block's B slab is L1-hot for every row
+/// after the first — the single-row traversal was B-bandwidth-bound and
+/// gained almost nothing from the wider vectors. Each output element
+/// still accumulates its own register chain in stored-value order, so
+/// the row grouping changes no bit of output.
+template <int kRows, int kVecs>
+void nm_rows_block_avx512(const sparse::NMSparseMatrix& a, const float* bd,
+                          float* __restrict cd, Index r0, Index n, Index j) {
+  const auto m = static_cast<Index>(a.pattern().m);
+  const auto& values = a.values();
+  const auto& idx = a.in_block_index();
+  const auto& offsets = a.block_offsets();
+  const Index blocks_per_row = a.blocks_per_row();
+
+  __m512 acc[kRows][kVecs];
+  for (int r = 0; r < kRows; ++r)
+    for (int v = 0; v < kVecs; ++v)
+      acc[r][v] = _mm512_loadu_ps(cd + (r0 + r) * n + j + 16 * v);
+  for (Index blk = 0; blk < blocks_per_row; ++blk) {
+    const Index k_base = blk * m;
+    for (int r = 0; r < kRows; ++r) {
+      const Index group = (r0 + r) * blocks_per_row + blk;
+      for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
+        const __m512 av = _mm512_set1_ps(values[s]);
+        const float* brow = bd + (k_base + idx[s]) * n + j;
+        for (int v = 0; v < kVecs; ++v)
+          acc[r][v] =
+              _mm512_fmadd_ps(av, _mm512_loadu_ps(brow + 16 * v), acc[r][v]);
+      }
+    }
+  }
+  for (int r = 0; r < kRows; ++r)
+    for (int v = 0; v < kVecs; ++v)
+      _mm512_storeu_ps(cd + (r0 + r) * n + j + 16 * v, acc[r][v]);
+}
+
+/// Masked sub-vector column tail of the same row-group traversal (the
+/// batch-1 GEMV serving case runs entirely through here, where the
+/// shared B column makes the group's L1 reuse total).
+template <int kRows>
+void nm_rows_tail_avx512(const sparse::NMSparseMatrix& a, const float* bd,
+                         float* __restrict cd, Index r0, Index n, Index j,
+                         __mmask16 mask) {
+  const auto m = static_cast<Index>(a.pattern().m);
+  const auto& values = a.values();
+  const auto& idx = a.in_block_index();
+  const auto& offsets = a.block_offsets();
+  const Index blocks_per_row = a.blocks_per_row();
+
+  __m512 acc[kRows];
+  for (int r = 0; r < kRows; ++r)
+    acc[r] = _mm512_maskz_loadu_ps(mask, cd + (r0 + r) * n + j);
+  for (Index blk = 0; blk < blocks_per_row; ++blk) {
+    const Index k_base = blk * m;
+    for (int r = 0; r < kRows; ++r) {
+      const Index group = (r0 + r) * blocks_per_row + blk;
+      for (Index s = offsets[group]; s < offsets[group + 1]; ++s) {
+        const __m512 bv =
+            _mm512_maskz_loadu_ps(mask, bd + (k_base + idx[s]) * n + j);
+        acc[r] = _mm512_fmadd_ps(_mm512_set1_ps(values[s]), bv, acc[r]);
+      }
+    }
+  }
+  for (int r = 0; r < kRows; ++r)
+    _mm512_mask_storeu_ps(cd + (r0 + r) * n + j, mask, acc[r]);
+}
+
+/// One row group (kRows consecutive rows) across columns [jt, je).
+template <int kRows>
+void nm_rows_avx512(const sparse::NMSparseMatrix& a, const float* bd, float* cd,
+                    Index r0, Index n, Index jt, Index je) {
+  Index j = jt;
+  // Pairs of rows take 128-column blocks (16 accumulators): each stored
+  // value's fixed overhead (broadcast + index fetch) then feeds 8 FMAs
+  // instead of 4, which matters because the traversal is load-port
+  // bound, not FMA bound.
+  if constexpr (kRows <= 2) {
+    for (; j + 128 <= je; j += 128)
+      nm_rows_block_avx512<kRows, 8>(a, bd, cd, r0, n, j);
+  }
+  for (; j + 64 <= je; j += 64) nm_rows_block_avx512<kRows, 4>(a, bd, cd, r0, n, j);
+  if (j + 32 <= je) {
+    nm_rows_block_avx512<kRows, 2>(a, bd, cd, r0, n, j);
+    j += 32;
+  }
+  if (j + 16 <= je) {
+    nm_rows_block_avx512<kRows, 1>(a, bd, cd, r0, n, j);
+    j += 16;
+  }
+  if (j < je) nm_rows_tail_avx512<kRows>(a, bd, cd, r0, n, j, tail_mask(je - j));
+}
+
+}  // namespace
+
+void dense_gemm_tile_avx512(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                            Index row_begin, Index row_end, Index col_begin,
+                            Index col_end) {
+  const Index k = a.cols(), n = b.cols();
+  for (Index jt = col_begin; jt < col_end; jt += kMacroTileN) {
+    const Index je = std::min(col_end, jt + kMacroTileN);
+    Index i = row_begin;
+    for (; i + 4 <= row_end; i += 4)
+      dense_rows_avx512<4>(a.data() + i * k, k, b.data(), n, c.data() + i * n,
+                           jt, je);
+    for (; i + 2 <= row_end; i += 2)
+      dense_rows_avx512<2>(a.data() + i * k, k, b.data(), n, c.data() + i * n,
+                           jt, je);
+    if (i < row_end)
+      dense_rows_avx512<1>(a.data() + i * k, k, b.data(), n, c.data() + i * n,
+                           jt, je);
+  }
+}
+
+void nm_gemm_tile_avx512(const sparse::NMSparseMatrix& a, const MatrixF& b,
+                         MatrixF& c, Index row_begin, Index row_end,
+                         Index col_begin, Index col_end) {
+  const Index n = b.cols();
+  const float* bd = b.data();
+  float* cd = c.data();
+
+  // Each (row group, block width) pair costs one traversal of the
+  // group's compressed storage, so take 4-row groups and the widest
+  // column block that fits (64/32/16, then the masked tail) — the row
+  // group shares each k block's B slab through L1, the wide block
+  // amortizes each traversal.
+  for (Index jt = col_begin; jt < col_end; jt += kMacroTileN) {
+    const Index je = std::min(col_end, jt + kMacroTileN);
+    Index r = row_begin;
+    if (je - jt >= 128) {
+      // Wide spans: row pairs, so most columns run the 128-wide block.
+      for (; r + 2 <= row_end; r += 2)
+        nm_rows_avx512<2>(a, bd, cd, r, n, jt, je);
+    } else {
+      for (; r + 4 <= row_end; r += 4)
+        nm_rows_avx512<4>(a, bd, cd, r, n, jt, je);
+      if (r + 2 <= row_end) {
+        nm_rows_avx512<2>(a, bd, cd, r, n, jt, je);
+        r += 2;
+      }
+    }
+    if (r < row_end) nm_rows_avx512<1>(a, bd, cd, r, n, jt, je);
+  }
+}
+
+namespace {
+
+void dense_avx512(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                  ThreadPool& pool) {
+  pool.parallel_for(0, a.rows(), kRowGrain, [&](Index r0, Index r1) {
+    dense_gemm_tile_avx512(a, b, c, r0, r1, 0, b.cols());
+  });
+}
+
+void nm_avx512(const sparse::NMSparseMatrix& a, const MatrixF& b, MatrixF& c,
+               ThreadPool& pool) {
+  pool.parallel_for(0, a.rows(), kRowGrain, [&](Index r0, Index r1) {
+    nm_gemm_tile_avx512(a, b, c, r0, r1, 0, b.cols());
+  });
+}
+
+void dense_batch_avx512(const MatrixF& a, std::span<const MatrixF> bs,
+                        std::span<MatrixF> cs, ThreadPool& pool) {
+  run_packed_batch(a.rows(), bs, cs, pool,
+                   [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
+                        Index c0, Index c1) {
+                     dense_gemm_tile_avx512(a, b, c, r0, r1, c0, c1);
+                   });
+}
+
+void nm_batch_avx512(const sparse::NMSparseMatrix& a,
+                     std::span<const MatrixF> bs, std::span<MatrixF> cs,
+                     ThreadPool& pool) {
+  run_packed_batch(a.rows(), bs, cs, pool,
+                   [&a](const MatrixF& b, MatrixF& c, Index r0, Index r1,
+                        Index c0, Index c1) {
+                     nm_gemm_tile_avx512(a, b, c, r0, r1, c0, c1);
+                   });
+}
+
+}  // namespace
+
+void register_avx512_kernels(GemmDispatch& dispatch) {
+  dispatch.register_dense("dense-avx512", dense_avx512);
+  dispatch.register_nm("nm-avx512", nm_avx512);
+  dispatch.register_dense_batch("dense-batch-avx512", dense_batch_avx512);
+  dispatch.register_nm_batch("nm-batch-avx512", nm_batch_avx512);
+}
+
+}  // namespace tasd::rt

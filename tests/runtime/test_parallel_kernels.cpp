@@ -166,12 +166,12 @@ TEST(GemmDispatchRegistry, ListsBuiltinsAndDefaults) {
   EXPECT_EQ(dispatch.default_nm(), "row-parallel");
 }
 
-TEST(GemmDispatchRegistry, Avx2KernelsFollowRuntimeDetection) {
-  // The AVX2 family is registered exactly when the executing CPU/OS can
-  // run it (and TASD_DISABLE_AVX2 is unset); best_*() prefers it when
-  // present and falls back to the scalar defaults otherwise. The
-  // TASD_DISABLE_AVX2=1 CI leg exercises the fallback branch on AVX2
-  // hardware.
+TEST(GemmDispatchRegistry, SimdKernelsFollowRuntimeDetection) {
+  // Each SIMD family is registered exactly when the executing CPU/OS
+  // can run it (and its TASD_DISABLE_* flag is unset); best_*() walks
+  // the avx512 > avx2 > scalar chain over whatever registered. The
+  // avx2-only and scalar CI legs exercise the lower rungs on capable
+  // hardware via the disable flags.
   auto& dispatch = GemmDispatch::instance();
   const auto dense = dispatch.dense_kernels();
   const auto nm = dispatch.nm_kernels();
@@ -181,20 +181,25 @@ TEST(GemmDispatchRegistry, Avx2KernelsFollowRuntimeDetection) {
                        const char* name) {
     return std::find(names.begin(), names.end(), name) != names.end();
   };
-  if (avx2_available()) {
-    EXPECT_TRUE(has(dense, "dense-avx2"));
-    EXPECT_TRUE(has(nm, "nm-avx2"));
-    EXPECT_TRUE(has(dense_batch, "dense-batch-avx2"));
-    EXPECT_TRUE(has(nm_batch, "nm-batch-avx2"));
+  EXPECT_EQ(has(dense, "dense-avx2"), avx2_available());
+  EXPECT_EQ(has(nm, "nm-avx2"), avx2_available());
+  EXPECT_EQ(has(dense_batch, "dense-batch-avx2"), avx2_available());
+  EXPECT_EQ(has(nm_batch, "nm-batch-avx2"), avx2_available());
+  EXPECT_EQ(has(dense, "dense-avx512"), avx512_available());
+  EXPECT_EQ(has(nm, "nm-avx512"), avx512_available());
+  EXPECT_EQ(has(dense_batch, "dense-batch-avx512"), avx512_available());
+  EXPECT_EQ(has(nm_batch, "nm-batch-avx512"), avx512_available());
+  if (avx512_available()) {
+    EXPECT_EQ(dispatch.best_dense(), "dense-avx512");
+    EXPECT_EQ(dispatch.best_nm(), "nm-avx512");
+    EXPECT_EQ(dispatch.best_dense_batch(), "dense-batch-avx512");
+    EXPECT_EQ(dispatch.best_nm_batch(), "nm-batch-avx512");
+  } else if (avx2_available()) {
     EXPECT_EQ(dispatch.best_dense(), "dense-avx2");
     EXPECT_EQ(dispatch.best_nm(), "nm-avx2");
     EXPECT_EQ(dispatch.best_dense_batch(), "dense-batch-avx2");
     EXPECT_EQ(dispatch.best_nm_batch(), "nm-batch-avx2");
   } else {
-    EXPECT_FALSE(has(dense, "dense-avx2"));
-    EXPECT_FALSE(has(nm, "nm-avx2"));
-    EXPECT_FALSE(has(dense_batch, "dense-batch-avx2"));
-    EXPECT_FALSE(has(nm_batch, "nm-batch-avx2"));
     EXPECT_EQ(dispatch.best_dense(), dispatch.default_dense());
     EXPECT_EQ(dispatch.best_nm(), dispatch.default_nm());
     EXPECT_EQ(dispatch.best_dense_batch(), dispatch.default_dense_batch());
